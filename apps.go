@@ -1,0 +1,114 @@
+package dsenergy
+
+import (
+	"dsenergy/internal/cronos"
+	"dsenergy/internal/ligen"
+	"dsenergy/internal/xrand"
+)
+
+// This file exposes the reference CPU implementations of the two
+// applications, so downstream users can run the actual science — an MHD
+// simulation, a virtual-screening campaign — not just their energy profiles.
+
+// Magnetohydrodynamics (Cronos).
+type (
+	// MHDConfig configures the finite-volume MHD solver.
+	MHDConfig = cronos.Config
+	// MHDSolver advances an ideal-MHD state per Algorithm 1 of the paper.
+	MHDSolver = cronos.Solver
+	// MHDGrid is the conserved-variable mesh.
+	MHDGrid = cronos.Grid
+	// MHDBoundary selects the boundary condition.
+	MHDBoundary = cronos.Boundary
+)
+
+// MHD boundary conditions.
+const (
+	MHDPeriodic = cronos.Periodic
+	MHDOutflow  = cronos.Outflow
+)
+
+// MUSCL slope limiters (MHDConfig.Limiter).
+const (
+	// LimiterMinmod is the robust default.
+	LimiterMinmod = cronos.LimiterMinmod
+	// LimiterVanLeer is sharper on smooth solutions.
+	LimiterVanLeer = cronos.LimiterVanLeer
+)
+
+// NewMHDSolver builds an MHD solver; initialize its grid with one of the
+// InitMHD* helpers before running.
+func NewMHDSolver(cfg MHDConfig) (*MHDSolver, error) { return cronos.NewSolver(cfg) }
+
+// InitMHDBlastWave sets up the magnetized blast-wave problem.
+func InitMHDBlastWave(g *MHDGrid, pAmbient, pBlast, radius float64) {
+	cronos.InitBlastWave(g, pAmbient, pBlast, radius)
+}
+
+// InitMHDAlfvenWave sets up a travelling circularly polarized Alfvén wave.
+func InitMHDAlfvenWave(g *MHDGrid, amplitude float64) { cronos.InitAlfvenWave(g, amplitude) }
+
+// User-provided conservation laws (a documented Cronos capability: "the
+// code also allows the solver to be used for other conservation laws that
+// can be provided by the user").
+type (
+	// ConservationLaw is a user-provided scalar law ∂u/∂t + ∇·F(u) = 0.
+	ConservationLaw = cronos.ScalarLaw
+	// ScalarSolver advances a user-provided conservation law on the mesh.
+	ScalarSolver = cronos.ScalarSolver
+	// AdvectionLaw is linear advection (an exactly solvable smoke test).
+	AdvectionLaw = cronos.AdvectionLaw
+	// BurgersLaw is the inviscid Burgers equation (shock formation).
+	BurgersLaw = cronos.BurgersLaw
+)
+
+// NewScalarSolver builds a solver for a user-provided conservation law.
+func NewScalarSolver(law ConservationLaw, nx, ny, nz int, b MHDBoundary) (*ScalarSolver, error) {
+	return cronos.NewScalarSolver(law, nx, ny, nz, b)
+}
+
+// Drug discovery (LiGen).
+type (
+	// Ligand is a small molecule with rotatable bonds.
+	Ligand = ligen.Ligand
+	// LigandLibrary is a chemical library to screen.
+	LigandLibrary = ligen.Library
+	// Pocket is the protein binding site (docking target).
+	Pocket = ligen.Pocket
+	// DockParams are Algorithm 2's parameters.
+	DockParams = ligen.Params
+	// DockResult is the outcome of docking one ligand.
+	DockResult = ligen.DockResult
+	// ScreenResult is one row of a virtual-screening ranking.
+	ScreenResult = ligen.ScreenResult
+)
+
+// GenLigandLibrary synthesizes a deterministic chemical library of n ligands
+// with the given per-ligand structure.
+func GenLigandLibrary(seed uint64, n, atoms, fragments int) (*LigandLibrary, error) {
+	return ligen.GenLibrary(xrand.New(seed), n, atoms, fragments)
+}
+
+// GenPocket synthesizes a deterministic protein pocket on an n³ grid of the
+// given half-width (Å).
+func GenPocket(seed uint64, n int, extent float64) (*Pocket, error) {
+	return ligen.GenPocket(xrand.New(seed), n, extent)
+}
+
+// DefaultDockParams returns campaign-scale docking parameters.
+func DefaultDockParams() DockParams { return ligen.DefaultParams() }
+
+// FastDockParams returns reduced docking parameters suited to CPU-reference
+// demos and tests.
+func FastDockParams() DockParams { return ligen.TestParams() }
+
+// Dock runs Algorithm 2 for one ligand.
+func Dock(l *Ligand, target *Pocket, params DockParams, seed uint64) (DockResult, error) {
+	return ligen.Dock(l, target, params, xrand.New(seed))
+}
+
+// Screen ranks a library against the target over a goroutine worker pool;
+// results are deterministic in seed regardless of worker count.
+func Screen(lib *LigandLibrary, target *Pocket, params DockParams, workers int, seed uint64) ([]ScreenResult, error) {
+	return ligen.Screen(lib, target, params, workers, seed)
+}

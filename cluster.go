@@ -1,0 +1,26 @@
+package dsenergy
+
+import (
+	"dsenergy/internal/cluster"
+	"dsenergy/internal/gpusim"
+)
+
+// Multi-GPU distributed execution (the Celerity-runtime role of the paper's
+// context: Cronos' cluster port and LiGen's multi-node campaigns).
+
+type (
+	// Cluster is a set of identical simulated devices with an interconnect.
+	Cluster = cluster.Cluster
+	// Interconnect describes the fabric between devices.
+	Interconnect = cluster.Interconnect
+	// ClusterResult is a distributed run's outcome.
+	ClusterResult = cluster.Result
+)
+
+// DefaultInterconnect returns an InfiniBand-class fabric.
+func DefaultInterconnect() Interconnect { return cluster.DefaultInterconnect() }
+
+// NewCluster builds an n-device homogeneous cluster.
+func NewCluster(seed uint64, spec DeviceSpec, n int, net Interconnect) (*Cluster, error) {
+	return cluster.New(seed, gpusim.Spec(spec), n, net)
+}

@@ -1,0 +1,77 @@
+// Command characterize regenerates the paper's energy-characterization
+// figures (Figures 1-10): multi-objective speedup / normalized-energy sweeps
+// of LiGen and Cronos across the core-frequency range of the simulated
+// NVIDIA V100 and AMD MI100, with Pareto-optimal frequencies marked.
+//
+// Usage:
+//
+//	characterize [-fig all|1|2|...|10] [-quick] [-stride N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsenergy/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all or 1..10")
+	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
+	stride := flag.Int("stride", 0, "override frequency stride (0 = config default)")
+	reps := flag.Int("reps", 0, "override measurement repetitions (0 = config default)")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "characterize: unknown format %q (want text or csv)\n", *format)
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *stride > 0 {
+		cfg.FreqStride = *stride
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	gens := map[string]func() (experiments.Figure, error){
+		"1": cfg.Fig1, "2": cfg.Fig2, "3": cfg.Fig3, "4": cfg.Fig4, "5": cfg.Fig5,
+		"6": cfg.Fig6, "7": cfg.Fig7, "8": cfg.Fig8, "9": cfg.Fig9, "10": cfg.Fig10,
+	}
+	order := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}
+
+	run := func(id string) {
+		gen, ok := gens[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "characterize: unknown figure %q (want 1..10)\n", id)
+			os.Exit(2)
+		}
+		f, err := gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			if err := experiments.RenderFigureCSV(os.Stdout, f); err != nil {
+				fmt.Fprintf(os.Stderr, "characterize: writing csv: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		experiments.RenderFigure(os.Stdout, f)
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, id := range order {
+			run(id)
+		}
+		return
+	}
+	run(*fig)
+}

@@ -1,0 +1,173 @@
+// Command reproduce regenerates the paper's complete result set in one run:
+// every characterization figure (1-10), the feature tables, the model
+// accuracy comparison (Figure 13), the Pareto-set comparison (Figure 14),
+// the §5.2.1 regressor comparison, the ablations, the tuner comparison, the
+// per-kernel scaling experiment and the strong-scaling study — each written
+// to its own file under the output directory.
+//
+// Usage:
+//
+//	reproduce [-out results] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dsenergy/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "reduced-fidelity configuration")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	write := func(name string, gen func(f *os.File) error) {
+		start := time.Now()
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := gen(f); err != nil {
+			f.Close()
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %-28s (%s)\n", path, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Tables.
+	write("tables.txt", func(f *os.File) error {
+		experiments.RenderTable1(f)
+		fmt.Fprintln(f)
+		experiments.RenderTable2(f)
+		return nil
+	})
+
+	// Characterization figures.
+	figGens := []struct {
+		name string
+		gen  func() (experiments.Figure, error)
+	}{
+		{"fig01.txt", cfg.Fig1}, {"fig02.txt", cfg.Fig2}, {"fig03.txt", cfg.Fig3},
+		{"fig04.txt", cfg.Fig4}, {"fig05.txt", cfg.Fig5}, {"fig06.txt", cfg.Fig6},
+		{"fig07.txt", cfg.Fig7}, {"fig08.txt", cfg.Fig8}, {"fig09.txt", cfg.Fig9},
+		{"fig10.txt", cfg.Fig10},
+	}
+	for _, fg := range figGens {
+		fg := fg
+		write(fg.name, func(f *os.File) error {
+			fig, err := fg.gen()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure(f, fig)
+			return nil
+		})
+	}
+
+	// Model evaluation.
+	write("fig13.txt", func(f *os.File) error {
+		r, err := cfg.Fig13()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig13(f, r)
+		return nil
+	})
+	write("fig14.txt", func(f *os.File) error {
+		panels, err := cfg.Fig14()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig14(f, panels)
+		return nil
+	})
+	write("regressors.txt", func(f *os.File) error {
+		cmp, err := cfg.CompareRegressors()
+		if err != nil {
+			return err
+		}
+		experiments.RenderAlgorithmComparison(f, cmp)
+		return nil
+	})
+	write("ablations.txt", func(f *os.File) error {
+		return cfg.RenderAblations(f)
+	})
+	write("gridsearch.txt", func(f *os.File) error {
+		gs, err := cfg.GridSearchRF()
+		if err != nil {
+			return err
+		}
+		experiments.RenderGridSearch(f, gs)
+		return nil
+	})
+	write("tuners.txt", func(f *os.File) error {
+		r, err := cfg.CompareTuners()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTuningComparison(f, r)
+		return nil
+	})
+	write("perkernel.txt", func(f *os.File) error {
+		r, err := cfg.FutureWorkPerKernel()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "== per-kernel frequency scaling (§7 future work), Cronos 160x64x64 ==")
+		for k, fr := range r.Plan {
+			fmt.Fprintf(f, "   %-16s -> %d MHz\n", k, fr)
+		}
+		fmt.Fprintf(f, "   measured: speedup %.3f, energy saving %.1f%%\n",
+			r.Outcome.Speedup(), r.Outcome.EnergySaving()*100)
+		return nil
+	})
+	write("scaling.txt", func(f *os.File) error {
+		lr, cr, err := cfg.StrongScaling([]int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "== strong scaling (V100 cluster) ==")
+		fmt.Fprintf(f, "%-8s %12s %12s %12s %12s\n", "devices", "ligen t(s)", "ligen eff", "cronos t(s)", "cronos eff")
+		for i := range lr {
+			fmt.Fprintf(f, "%-8d %12.4f %12.2f %12.4f %12.2f\n",
+				lr[i].Devices, lr[i].TimeS, lr[i].Efficiency, cr[i].TimeS, cr[i].Efficiency)
+		}
+		return nil
+	})
+	// Machine-checkable verification of every headline claim.
+	var failed int
+	write("shapechecks.txt", func(f *os.File) error {
+		checks, err := cfg.VerifyShapes()
+		if err != nil {
+			return err
+		}
+		failed = experiments.RenderShapeChecks(f, checks)
+		return nil
+	})
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: %d shape checks FAILED (see shapechecks.txt)\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("done — all shape checks passed")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+	os.Exit(1)
+}

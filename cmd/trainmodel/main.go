@@ -1,0 +1,95 @@
+// Command trainmodel runs the training-phase workflow of the paper (§4.2.2,
+// Figure 11): it measures the Cronos and LiGen input grids across the
+// frequency sweep on the simulated V100, fits the domain-specific models,
+// reports the regressor comparison of §5.2.1 (Linear, Lasso, SVR-RBF,
+// Random Forest) and the random-forest grid search.
+//
+// Usage:
+//
+//	trainmodel [-quick] [-compare] [-gridsearch] [-tables]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsenergy/internal/core"
+	"dsenergy/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
+	compare := flag.Bool("compare", true, "run the §5.2.1 regressor comparison")
+	gridsearch := flag.Bool("gridsearch", false, "run the random-forest grid search (slow)")
+	loocv := flag.Bool("loocv", true, "run the leave-one-input-out accuracy report")
+	tables := flag.Bool("tables", true, "print the feature tables (Tables 1-2)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+
+	if *tables {
+		experiments.RenderTable1(os.Stdout)
+		fmt.Println()
+		experiments.RenderTable2(os.Stdout)
+		fmt.Println()
+	}
+
+	p, err := cfg.Platform()
+	if err != nil {
+		fail(err)
+	}
+	q := p.Queues()[0] // V100, the paper's training device
+
+	cds, _, err := cfg.BuildCronosDataset(q)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("Cronos dataset: %d inputs x %d samples on %s (baseline %d MHz)\n",
+		len(cds.Inputs()), len(cds.Samples), cds.Device, cds.BaselineFreqMHz)
+	lds, _, err := cfg.BuildLiGenDataset(q)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("LiGen dataset:  %d inputs x %d samples on %s (baseline %d MHz)\n\n",
+		len(lds.Inputs()), len(lds.Samples), lds.Device, lds.BaselineFreqMHz)
+
+	if *loocv {
+		for _, ds := range []*core.Dataset{cds, lds} {
+			accs, err := core.LeaveOneInputOut(ds, cfg.ForestSpec(), cfg.Seed)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("leave-one-input-out accuracy (%s, random forest):\n", ds.Schema.App)
+			for _, a := range accs {
+				fmt.Printf("   %-18s speedup MAPE %.4f   energy MAPE %.4f\n",
+					a.Label, a.SpeedupMAPE, a.NormEnergyMAPE)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *compare {
+		cmp, err := cfg.CompareRegressors()
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderAlgorithmComparison(os.Stdout, cmp)
+		fmt.Println()
+	}
+	if *gridsearch {
+		gs, err := cfg.GridSearchRF()
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderGridSearch(os.Stdout, gs)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "trainmodel: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+// Package dsenergy is the public facade of the domain-specific energy
+// modeling library, a reproduction of Carpentieri et al., "Domain-Specific
+// Energy Modeling for Drug Discovery and Magnetohydrodynamics Applications"
+// (SC-W 2023).
+//
+// The library spans the paper's whole stack:
+//
+//   - a DVFS-capable GPU simulator standing in for the NVIDIA V100 and AMD
+//     MI100 testbed (gpusim);
+//   - a portable energy-profiling and frequency-scaling layer in the role of
+//     the SYnergy API (synergy);
+//   - the two applications: the Cronos finite-volume MHD solver and the
+//     LiGen molecular docking engine, each usable both as a real CPU
+//     implementation and as a GPU workload (cronos, ligen);
+//   - a from-scratch regression library (linear, Lasso, SVR-RBF, random
+//     forest, cross-validation, grid search) in the role of scikit-learn
+//     (ml);
+//   - the general-purpose baseline model of Fan et al. trained on 106
+//     micro-benchmarks (gpmodel, microbench);
+//   - the paper's contribution: domain-specific energy/runtime models driven
+//     by input characteristics (core), with Pareto-front tooling (pareto);
+//   - a harness regenerating every table and figure of the evaluation
+//     (experiments) — see also the testing.B benchmarks in bench_test.go.
+//
+// The facade re-exports the types a downstream user needs, so typical
+// programs import only this package:
+//
+//	tb, _ := dsenergy.NewTestbed(42)
+//	v100 := tb.Queues()[0]
+//	w, _ := dsenergy.NewLiGenWorkload(dsenergy.LiGenInput{Ligands: 1024, Atoms: 63, Fragments: 8})
+//	m, _ := dsenergy.MeasureAt(v100, w, 1297, 5)
+//	fmt.Println(m.TimeS, m.EnergyJ)
+package dsenergy
+
+import (
+	"dsenergy/internal/core"
+	"dsenergy/internal/cronos"
+	"dsenergy/internal/experiments"
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/ligen"
+	"dsenergy/internal/ml"
+	"dsenergy/internal/pareto"
+	"dsenergy/internal/synergy"
+)
+
+// Device simulation and the SYnergy-style runtime.
+type (
+	// DeviceSpec describes a simulated GPU (geometry, frequency table,
+	// power model).
+	DeviceSpec = gpusim.Spec
+	// Platform owns the visible devices.
+	Platform = synergy.Platform
+	// Queue is an in-order execution queue bound to one device, with
+	// frequency control and per-kernel energy attribution.
+	Queue = synergy.Queue
+	// Workload is anything measurable across a frequency sweep.
+	Workload = synergy.Workload
+	// Measurement is an averaged (frequency, time, energy) observation.
+	Measurement = synergy.Measurement
+)
+
+// V100Spec returns the NVIDIA V100 preset used throughout the paper.
+func V100Spec() DeviceSpec { return gpusim.V100Spec() }
+
+// MI100Spec returns the AMD MI100 preset.
+func MI100Spec() DeviceSpec { return gpusim.MI100Spec() }
+
+// NewTestbed builds the paper's testbed: a platform exposing one V100 and
+// one MI100, deterministically seeded.
+func NewTestbed(seed uint64) (*Platform, error) {
+	return synergy.NewPlatform(seed, gpusim.V100Spec(), gpusim.MI100Spec())
+}
+
+// NewPlatform builds a platform over an arbitrary device list.
+func NewPlatform(seed uint64, specs ...DeviceSpec) (*Platform, error) {
+	return synergy.NewPlatform(seed, specs...)
+}
+
+// MeasureAt measures a workload at one frequency, averaged over reps
+// repetitions (the paper uses 5).
+func MeasureAt(q *Queue, w Workload, freqMHz, reps int) (Measurement, error) {
+	return synergy.MeasureAt(q, w, freqMHz, reps)
+}
+
+// Sweep measures a workload at every listed frequency.
+func Sweep(q *Queue, w Workload, freqs []int, reps int) ([]Measurement, error) {
+	return synergy.Sweep(q, w, freqs, reps)
+}
+
+// Applications.
+type (
+	// CronosWorkload is a Cronos MHD simulation as a GPU workload.
+	CronosWorkload = cronos.Workload
+	// LiGenInput is a virtual-screening input (ligands, atoms, fragments).
+	LiGenInput = ligen.Input
+	// LiGenWorkload is a virtual-screening campaign as a GPU workload.
+	LiGenWorkload = ligen.Workload
+)
+
+// NewCronosWorkload builds a Cronos workload for an nx×ny×nz grid advanced
+// for the given number of timesteps.
+func NewCronosWorkload(nx, ny, nz, steps int) (CronosWorkload, error) {
+	return cronos.NewWorkload(nx, ny, nz, steps)
+}
+
+// NewLiGenWorkload builds a LiGen workload with campaign-scale parameters.
+func NewLiGenWorkload(in LiGenInput) (LiGenWorkload, error) {
+	return ligen.NewWorkload(in)
+}
+
+// Domain-specific modeling (the paper's contribution).
+type (
+	// Schema names an application's domain-specific features (Table 2).
+	Schema = core.Schema
+	// Dataset is a measured training set (Figure 11, step 3).
+	Dataset = core.Dataset
+	// FeaturedWorkload couples a workload with its feature vector.
+	FeaturedWorkload = core.FeaturedWorkload
+	// BuildConfig controls dataset acquisition.
+	BuildConfig = core.BuildConfig
+	// Model is a trained domain-specific model pair.
+	Model = core.Model
+	// CurvePoint is a (frequency, speedup, normalized energy) prediction.
+	CurvePoint = core.CurvePoint
+	// InputAccuracy is one input's leave-one-out MAPE pair.
+	InputAccuracy = core.InputAccuracy
+	// ModelSpec selects and parameterizes a regression algorithm.
+	ModelSpec = ml.Spec
+	// ParetoPoint is one frequency's outcome in the objective plane.
+	ParetoPoint = pareto.Point
+)
+
+// CronosSchema returns the magnetohydrodynamics feature set of Table 2.
+func CronosSchema() Schema { return core.CronosSchema() }
+
+// LiGenSchema returns the drug-discovery feature set of Table 2.
+func LiGenSchema() Schema { return core.LiGenSchema() }
+
+// RandomForestSpec returns the paper's selected model configuration.
+func RandomForestSpec() ModelSpec { return ml.Spec{Algorithm: "forest"} }
+
+// BuildDataset runs the training-phase measurement workflow of Figure 11.
+func BuildDataset(q *Queue, schema Schema, wls []FeaturedWorkload, cfg BuildConfig) (*Dataset, error) {
+	return core.BuildDataset(q, schema, wls, cfg)
+}
+
+// Train fits raw time/energy models on the dataset.
+func Train(ds *Dataset, spec ModelSpec, seed uint64) (*Model, error) {
+	return core.Train(ds, spec, seed)
+}
+
+// TrainNormalized fits speedup/normalized-energy models on the dataset — the
+// formulation the paper's accuracy evaluation uses.
+func TrainNormalized(ds *Dataset, spec ModelSpec, seed uint64) (*Model, error) {
+	return core.TrainNormalized(ds, spec, seed)
+}
+
+// LeaveOneInputOut runs the paper's validation protocol (§5.2).
+func LeaveOneInputOut(ds *Dataset, spec ModelSpec, seed uint64) ([]InputAccuracy, error) {
+	return core.LeaveOneInputOut(ds, spec, seed)
+}
+
+// ParetoFront extracts the Pareto-optimal subset of points (maximize
+// speedup, minimize normalized energy).
+func ParetoFront(points []ParetoPoint) []ParetoPoint { return pareto.Front(points) }
+
+// Experiment harness.
+type (
+	// ExperimentConfig controls experiment fidelity.
+	ExperimentConfig = experiments.Config
+)
+
+// DefaultExperimentConfig reproduces the paper's protocol.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig trades fidelity for runtime.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }

@@ -1,0 +1,65 @@
+// Cluster example: run the EXSCALATE-style scenario — a virtual-screening
+// campaign sharded across a multi-GPU cluster, and a distributed Cronos
+// simulation with halo exchange — and show how cluster-wide frequency tuning
+// changes the energy bill.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsenergy"
+)
+
+func main() {
+	const devices = 8
+	cl, err := dsenergy.NewCluster(42, dsenergy.V100Spec(), devices, dsenergy.DefaultInterconnect())
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := dsenergy.NewCluster(42, dsenergy.V100Spec(), 1, dsenergy.DefaultInterconnect())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- LiGen campaign: embarrassingly parallel ---
+	in := dsenergy.LiGenInput{Ligands: 65536, Atoms: 63, Fragments: 8}
+	r1, err := single.ScreenLiGen(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rn, err := cl.ScreenLiGen(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LiGen %d ligands: 1 device %.2fs, %d devices %.2fs (efficiency %.0f%%)\n",
+		in.Ligands, r1.TimeS, devices, rn.TimeS, rn.Efficiency(r1.TimeS, devices)*100)
+
+	// --- Cronos simulation: z-slab decomposition with halo exchange ---
+	c1, err := single.RunCronos(160, 64, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cn, err := cl.RunCronos(160, 64, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cronos 160x64x64: 1 device %.3fs, %d devices %.3fs (efficiency %.0f%%, comm %.0f%%)\n",
+		c1.TimeS, devices, cn.TimeS, cn.Efficiency(c1.TimeS, devices)*100,
+		cn.CommTimeS/cn.TimeS*100)
+
+	// --- Cluster-wide frequency tuning ---
+	// The stencil is memory-bound: down-clock the whole cluster.
+	spec := cl.Queues()[0].Spec()
+	low := spec.NearestFreqMHz(spec.BaselineFreqMHz() * 2 / 3)
+	if err := cl.SetCoreFreqMHz(low); err != nil {
+		log.Fatal(err)
+	}
+	cnLow, err := cl.RunCronos(160, 64, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster at %d MHz: %.3fs (%+.1f%% time), %.0fJ vs %.0fJ (%.0f%% energy saved)\n",
+		low, cnLow.TimeS, (cnLow.TimeS/cn.TimeS-1)*100,
+		cnLow.EnergyJ, cn.EnergyJ, (1-cnLow.EnergyJ/cn.EnergyJ)*100)
+}

@@ -1,0 +1,60 @@
+package dsenergy
+
+import (
+	"io"
+
+	"dsenergy/internal/core"
+	"dsenergy/internal/cronos"
+	"dsenergy/internal/ligen"
+	"dsenergy/internal/synergy"
+	"dsenergy/internal/xrand"
+)
+
+// Observability and persistence helpers exposed through the facade.
+
+type (
+	// EnergyEvent is one per-kernel energy attribution record.
+	EnergyEvent = synergy.Event
+	// TracePoint is one sample of a reconstructed power trace.
+	TracePoint = synergy.TracePoint
+)
+
+// PowerTrace reconstructs a sampled power-over-time series from a queue's
+// per-kernel energy events (sample period dt seconds).
+func PowerTrace(events []EnergyEvent, dt float64) ([]TracePoint, error) {
+	return synergy.PowerTrace(events, dt)
+}
+
+// ReadDatasetCSV loads a measurement dataset written with Dataset.WriteCSV,
+// so expensive sweeps are acquired once and re-used across modeling runs.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return core.ReadCSV(r) }
+
+// LoadModel reads a trained model written with Model.Save, so a deployed
+// frequency tuner does not refit from raw measurements.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// GenLigandBranched synthesizes a ligand with side chains: a rotatable
+// backbone plus branch atoms, for structurally richer screening libraries.
+func GenLigandBranched(seed uint64, name string, atoms, fragments int, branchFrac float64) (*Ligand, error) {
+	return ligen.GenLigandBranched(xrand.New(seed), name, atoms, fragments, branchFrac)
+}
+
+// WriteLigand serializes a ligand in the library's line-oriented exchange
+// format; ReadLigand parses it back.
+func WriteLigand(w io.Writer, l *Ligand) error { return ligen.WriteLigand(w, l) }
+
+// ReadLigand parses a ligand serialized by WriteLigand.
+func ReadLigand(r io.Reader) (*Ligand, error) { return ligen.ReadLigand(r) }
+
+// WritePocket serializes a receptor grid; ReadPocket restores it, so a
+// target protein's maps are computed once per campaign.
+func WritePocket(w io.Writer, p *Pocket) error { return ligen.WritePocket(w, p) }
+
+// ReadPocket restores a pocket written by WritePocket.
+func ReadPocket(r io.Reader) (*Pocket, error) { return ligen.ReadPocket(r) }
+
+// ReadMHDCheckpoint restores a solver from a checkpoint written with
+// (*MHDSolver).WriteCheckpoint; the run continues bit-for-bit.
+func ReadMHDCheckpoint(r io.Reader, workers int) (*MHDSolver, error) {
+	return cronos.ReadCheckpoint(r, workers)
+}

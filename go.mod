@@ -1,0 +1,3 @@
+module dsenergy
+
+go 1.22

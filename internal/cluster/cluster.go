@@ -1,0 +1,191 @@
+// Package cluster models multi-GPU distributed execution in the role of the
+// Celerity runtime the paper builds on (Thoman et al., Euro-Par'19): Cronos'
+// solver was ported to Celerity to run on distributed-memory clusters, and
+// LiGen's virtual-screening campaigns ran on thousands of accelerator nodes
+// (EXSCALATE on HPC5 and MARCONI100).
+//
+// The model is deliberately simple and standard: work is partitioned across
+// devices; compute time per device comes from the single-GPU simulator;
+// distributed Cronos adds per-step halo-exchange communication over an
+// interconnect with bandwidth and latency; the job's wall time is the
+// slowest device's (bulk-synchronous steps) and the job's energy is the sum
+// over devices. This reproduces the canonical strong-scaling behaviour:
+// embarrassingly parallel screening scales almost perfectly, stencil codes
+// lose efficiency as halos start to dominate shrinking slabs.
+package cluster
+
+import (
+	"fmt"
+
+	"dsenergy/internal/cronos"
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/kernels"
+	"dsenergy/internal/ligen"
+	"dsenergy/internal/synergy"
+)
+
+// Interconnect describes the network between devices.
+type Interconnect struct {
+	// BandwidthGBs is the per-link bandwidth (e.g. ~25 GB/s for the
+	// NVLink/InfiniBand class fabrics of the paper's machines).
+	BandwidthGBs float64
+	// LatencyS is the per-message latency.
+	LatencyS float64
+}
+
+// DefaultInterconnect returns an InfiniBand-class fabric.
+func DefaultInterconnect() Interconnect {
+	return Interconnect{BandwidthGBs: 25, LatencyS: 3e-6}
+}
+
+// Cluster is a set of identical simulated devices joined by an interconnect.
+type Cluster struct {
+	queues []*synergy.Queue
+	net    Interconnect
+}
+
+// New builds an n-device homogeneous cluster of the given spec.
+func New(seed uint64, spec gpusim.Spec, n int, net Interconnect) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 device, got %d", n)
+	}
+	if net.BandwidthGBs <= 0 || net.LatencyS < 0 {
+		return nil, fmt.Errorf("cluster: invalid interconnect %+v", net)
+	}
+	specs := make([]gpusim.Spec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	p, err := synergy.NewPlatform(seed, specs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{queues: p.Queues(), net: net}, nil
+}
+
+// Size returns the device count.
+func (c *Cluster) Size() int { return len(c.queues) }
+
+// Queues exposes the device queues (e.g. for frequency control).
+func (c *Cluster) Queues() []*synergy.Queue { return c.queues }
+
+// SetCoreFreqMHz pins every device to the same clock.
+func (c *Cluster) SetCoreFreqMHz(mhz int) error {
+	for _, q := range c.queues {
+		if err := q.SetCoreFreqMHz(mhz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is a distributed run's outcome.
+type Result struct {
+	TimeS     float64   // wall time (slowest device, including communication)
+	EnergyJ   float64   // total energy across devices
+	CommTimeS float64   // communication time on the critical path
+	PerDevice []float64 // per-device compute time
+}
+
+// Efficiency returns the strong-scaling efficiency of this run against a
+// single-device baseline time: t1 / (n · tn).
+func (r Result) Efficiency(singleDeviceTimeS float64, n int) float64 {
+	if r.TimeS <= 0 || n < 1 {
+		return 0
+	}
+	return singleDeviceTimeS / (float64(n) * r.TimeS)
+}
+
+// RunCronos executes a Cronos simulation decomposed into z-slabs across the
+// cluster: each device advances its slab, exchanging two-cell halos with its
+// neighbours every substep, with a bulk-synchronous barrier per substep (the
+// Celerity execution model for this stencil).
+func (c *Cluster) RunCronos(nx, ny, nz, steps int) (Result, error) {
+	n := len(c.queues)
+	if nz < n {
+		return Result{}, fmt.Errorf("cluster: cannot split %d z-planes across %d devices", nz, n)
+	}
+
+	// Halo exchange per substep: Ghost planes of all variables, both
+	// directions (interior devices have two neighbours).
+	haloBytes := float64(cronos.Ghost) * float64(nx) * float64(ny) * cronos.NVars * 8
+	msgsPerSubstep := 2.0
+	commPerSubstep := msgsPerSubstep * (haloBytes/(c.net.BandwidthGBs*1e9) + c.net.LatencyS)
+	substeps := float64(3 * steps)
+
+	var res Result
+	res.PerDevice = make([]float64, n)
+	var slowest float64
+	for i, q := range c.queues {
+		// Slab sizes differ by at most one plane.
+		slab := nz / n
+		if i < nz%n {
+			slab++
+		}
+		w, err := cronos.NewWorkload(nx, ny, slab, steps)
+		if err != nil {
+			return Result{}, err
+		}
+		t, e, err := w.RunOn(q)
+		if err != nil {
+			return Result{}, err
+		}
+		res.PerDevice[i] = t
+		res.EnergyJ += e
+		if t > slowest {
+			slowest = t
+		}
+	}
+	if n > 1 {
+		res.CommTimeS = substeps * commPerSubstep
+	}
+	res.TimeS = slowest + res.CommTimeS
+	// Devices idle-waiting at the barrier still burn idle power for the
+	// communication time.
+	idleW := c.queues[0].Spec().IdleW
+	res.EnergyJ += res.CommTimeS * idleW * float64(n)
+	return res, nil
+}
+
+// ScreenLiGen executes a virtual-screening campaign sharded across the
+// cluster. Screening is embarrassingly parallel (the paper calls it out
+// explicitly), so there is no communication beyond a final negligible
+// gather.
+func (c *Cluster) ScreenLiGen(in ligen.Input) (Result, error) {
+	n := len(c.queues)
+	if in.Ligands < n {
+		return Result{}, fmt.Errorf("cluster: cannot shard %d ligands across %d devices", in.Ligands, n)
+	}
+	var res Result
+	res.PerDevice = make([]float64, n)
+	var slowest float64
+	for i, q := range c.queues {
+		shard := in
+		shard.Ligands = in.Ligands / n
+		if i < in.Ligands%n {
+			shard.Ligands++
+		}
+		w, err := ligen.NewWorkload(shard)
+		if err != nil {
+			return Result{}, err
+		}
+		t, e, err := w.RunOn(q)
+		if err != nil {
+			return Result{}, err
+		}
+		res.PerDevice[i] = t
+		res.EnergyJ += e
+		if t > slowest {
+			slowest = t
+		}
+	}
+	res.TimeS = slowest
+	return res, nil
+}
+
+// haloProfile is exposed for white-box tests: the raw communication volume
+// of one Cronos substep on this cluster for an nx×ny plane.
+func (c *Cluster) haloProfile(nx, ny int) kernels.InstructionMix {
+	words := float64(cronos.Ghost) * float64(nx) * float64(ny) * cronos.NVars * 2
+	return kernels.InstructionMix{GlobalAcc: words}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/ligen"
+)
+
+func newCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(7, gpusim.V100Spec(), n, DefaultInterconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, gpusim.V100Spec(), 0, DefaultInterconnect()); err == nil {
+		t.Error("expected error for zero devices")
+	}
+	if _, err := New(1, gpusim.V100Spec(), 2, Interconnect{}); err == nil {
+		t.Error("expected error for zero-bandwidth interconnect")
+	}
+}
+
+func TestLiGenShardingScalesNearPerfectly(t *testing.T) {
+	in := ligen.Input{Ligands: 8192, Atoms: 63, Fragments: 8}
+	r1, err := newCluster(t, 1).ScreenLiGen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := newCluster(t, 4).ScreenLiGen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := r4.Efficiency(r1.TimeS, 4)
+	if eff < 0.85 {
+		t.Errorf("embarrassingly parallel screening efficiency %.2f, want >= 0.85", eff)
+	}
+	// Sharding does not create or destroy work: total energy is similar.
+	if rel := math.Abs(r4.EnergyJ-r1.EnergyJ) / r1.EnergyJ; rel > 0.25 {
+		t.Errorf("sharded energy diverges %.0f%% from single device", rel*100)
+	}
+}
+
+func TestLiGenShardCounts(t *testing.T) {
+	// 10 ligands on 3 devices -> shards 4, 3, 3.
+	c := newCluster(t, 3)
+	if _, err := c.ScreenLiGen(ligen.Input{Ligands: 10, Atoms: 31, Fragments: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ScreenLiGen(ligen.Input{Ligands: 2, Atoms: 31, Fragments: 4}); err == nil {
+		t.Error("expected error for fewer ligands than devices")
+	}
+}
+
+func TestCronosScalingLosesEfficiencyOnSmallGrids(t *testing.T) {
+	// Strong scaling: the large grid amortizes halo exchange much better
+	// than the small one — the canonical stencil-scaling result.
+	small := [3]int{40, 16, 16}
+	large := [3]int{160, 64, 64}
+	steps := 8
+
+	eff := func(g [3]int, n int) float64 {
+		t1, err := newCluster(t, 1).RunCronos(g[0], g[1], g[2], steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := newCluster(t, n).RunCronos(g[0], g[1], g[2], steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tn.Efficiency(t1.TimeS, n)
+	}
+	effSmall := eff(small, 8)
+	effLarge := eff(large, 8)
+	t.Logf("8-device strong-scaling efficiency: small grid %.2f, large grid %.2f", effSmall, effLarge)
+	if effLarge <= effSmall {
+		t.Errorf("large grid should scale better: %.2f vs %.2f", effLarge, effSmall)
+	}
+	if effLarge < 0.5 {
+		t.Errorf("large grid efficiency %.2f implausibly low", effLarge)
+	}
+}
+
+func TestCronosCommOnCriticalPath(t *testing.T) {
+	c := newCluster(t, 4)
+	r, err := c.RunCronos(80, 32, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommTimeS <= 0 {
+		t.Error("multi-device stencil run reports no communication time")
+	}
+	var slowest float64
+	for _, td := range r.PerDevice {
+		if td > slowest {
+			slowest = td
+		}
+	}
+	if got := r.TimeS; math.Abs(got-(slowest+r.CommTimeS)) > 1e-12 {
+		t.Errorf("wall time %g != slowest device %g + comm %g", got, slowest, r.CommTimeS)
+	}
+	// Single device: no communication.
+	r1, err := newCluster(t, 1).RunCronos(80, 32, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CommTimeS != 0 {
+		t.Errorf("single-device run has comm time %g", r1.CommTimeS)
+	}
+}
+
+func TestCronosRejectsOverDecomposition(t *testing.T) {
+	c := newCluster(t, 8)
+	if _, err := c.RunCronos(10, 4, 4, 2); err == nil {
+		t.Error("expected error splitting 4 z-planes across 8 devices")
+	}
+}
+
+func TestClusterFrequencyControl(t *testing.T) {
+	c := newCluster(t, 3)
+	spec := c.Queues()[0].Spec()
+	low := spec.NearestFreqMHz(900)
+	if err := c.SetCoreFreqMHz(low); err != nil {
+		t.Fatal(err)
+	}
+	rLow, err := c.RunCronos(160, 64, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCoreFreqMHz(spec.BaselineFreqMHz()); err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := c.RunCronos(160, 64, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory-bound stencil: down-clocking the whole cluster saves energy.
+	if rLow.EnergyJ >= rBase.EnergyJ {
+		t.Errorf("cluster down-clock saved no energy: %g vs %g", rLow.EnergyJ, rBase.EnergyJ)
+	}
+	if err := c.SetCoreFreqMHz(1); err == nil {
+		t.Error("expected error for invalid cluster frequency")
+	}
+}
+
+func TestHaloProfileVolume(t *testing.T) {
+	c := newCluster(t, 2)
+	mix := c.haloProfile(160, 64)
+	// Ghost(2) x 160 x 64 x 8 vars x 2 words.
+	want := 2.0 * 160 * 64 * 8 * 2
+	if mix.GlobalAcc != want {
+		t.Errorf("halo words %g, want %g", mix.GlobalAcc, want)
+	}
+}
+
+func TestShardSizesPartitionProperty(t *testing.T) {
+	// Property: ligand shards across n devices differ by at most one and
+	// sum to the campaign size (checked indirectly through total energy
+	// being device-count independent in other tests; here structurally).
+	f := func(lig uint16, n uint8) bool {
+		total := int(lig)%20000 + 1
+		devices := int(n)%12 + 1
+		if total < devices {
+			return true
+		}
+		sum := 0
+		min, max := 1<<30, 0
+		for i := 0; i < devices; i++ {
+			shard := total / devices
+			if i < total%devices {
+				shard++
+			}
+			sum += shard
+			if shard < min {
+				min = shard
+			}
+			if shard > max {
+				max = shard
+			}
+		}
+		return sum == total && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsenergy/internal/ml"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	q := testQueue(t)
+	orig := cronosDataset(t, q, paperGrids[:3])
+
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.App != orig.Schema.App || got.Device != orig.Device ||
+		got.BaselineFreqMHz != orig.BaselineFreqMHz {
+		t.Errorf("metadata differs: %+v vs %+v", got.Schema, orig.Schema)
+	}
+	if len(got.Samples) != len(orig.Samples) {
+		t.Fatalf("sample count %d, want %d", len(got.Samples), len(orig.Samples))
+	}
+	for i := range orig.Samples {
+		a, b := orig.Samples[i], got.Samples[i]
+		if a.FreqMHz != b.FreqMHz || a.TimeS != b.TimeS || a.EnergyJ != b.EnergyJ {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Features {
+			if a.Features[j] != b.Features[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReloadedDatasetTrainsIdentically(t *testing.T) {
+	q := testQueue(t)
+	orig := cronosDataset(t, q, paperGrids[:3])
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := forestTestSpec()
+	m1, err := TrainNormalized(orig, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainNormalized(reloaded, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := []int{orig.BaselineFreqMHz, q.Spec().FMaxMHz()}
+	c1 := m1.PredictCurves([]float64{20, 8, 8}, freqs)
+	c2 := m2.PredictCurves([]float64{20, 8, 8}, freqs)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("reloaded dataset trains differently at %d: %+v vs %+v", i, c1[i], c2[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":    "nope,a,b,100\n",
+		"short meta":   "#dsenergy-dataset,a,b\nx,freq_mhz,time_s,energy_j\n",
+		"bad baseline": "#dsenergy-dataset,a,b,xx\nx,freq_mhz,time_s,energy_j\n",
+		"bad header":   "#dsenergy-dataset,a,b,100\nx,nope,time_s,energy_j\n",
+		"short header": "#dsenergy-dataset,a,b,100\nfreq_mhz,time_s\n",
+		"bad feature":  "#dsenergy-dataset,a,b,100\nx,freq_mhz,time_s,energy_j\nzz,100,1,1\n",
+		"bad freq":     "#dsenergy-dataset,a,b,100\nx,freq_mhz,time_s,energy_j\n1,zz,1,1\n",
+		"bad time":     "#dsenergy-dataset,a,b,100\nx,freq_mhz,time_s,energy_j\n1,100,zz,1\n",
+		"neg energy":   "#dsenergy-dataset,a,b,100\nx,freq_mhz,time_s,energy_j\n1,100,1,-3\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadCSV(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func forestTestSpec() ml.Spec {
+	return ml.Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 10}}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	q := testQueue(t)
+	ds := cronosDataset(t, q, paperGrids[:3])
+	m, err := TrainNormalized(ds, forestTestSpec(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.App != m.Schema.App || got.BaselineFreqMHz != m.BaselineFreqMHz ||
+		got.Normalized != m.Normalized {
+		t.Errorf("metadata changed: %+v", got)
+	}
+	freqs := []int{q.BaselineFreqMHz(), q.Spec().FMaxMHz()}
+	want := m.PredictCurves([]float64{20, 8, 8}, freqs)
+	have := got.PredictCurves([]float64{20, 8, 8}, freqs)
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("prediction changed after round trip: %+v vs %+v", want[i], have[i])
+		}
+	}
+}
+
+func TestModelSaveUntrained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Model{}).Save(&buf); err == nil {
+		t.Error("expected error saving untrained model")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("nope")); err == nil {
+		t.Error("expected error for non-JSON")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"time_model":"bm90IGpzb24=","energy_model":"bm90IGpzb24="}`)); err == nil {
+		t.Error("expected error for garbage payloads")
+	}
+}

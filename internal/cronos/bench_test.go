@@ -1,0 +1,33 @@
+package cronos
+
+import "testing"
+
+func benchSolver(b *testing.B, nx, ny, nz, workers int) {
+	b.Helper()
+	s, err := NewSolver(Config{NX: nx, NY: ny, NZ: nz, Boundary: Periodic, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	InitBlastWave(s.Grid, 0.1, 10, 0.2)
+	s.Grid.ApplyBoundary(Periodic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	cellsPerStep := float64(s.Grid.Cells() * 3) // 3 RK substeps
+	b.ReportMetric(cellsPerStep*float64(b.N)/b.Elapsed().Seconds(), "cell-updates/s")
+}
+
+func BenchmarkSolverStep32Serial(b *testing.B)   { benchSolver(b, 32, 32, 32, 1) }
+func BenchmarkSolverStep32Parallel(b *testing.B) { benchSolver(b, 32, 32, 32, 0) }
+func BenchmarkSolverStep64Parallel(b *testing.B) { benchSolver(b, 64, 32, 32, 0) }
+
+func BenchmarkWorkloadProfiles(b *testing.B) {
+	w, err := NewWorkload(160, 64, 64, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = w.Profiles()
+	}
+}

@@ -1,0 +1,148 @@
+package cronos
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Diagnostics for validating and inspecting solver state. The scheme is a
+// cell-centered finite-volume method without constrained transport, so ∇·B
+// is not maintained at machine zero; MaxDivB exposes the discrete divergence
+// so tests and users can verify it stays bounded on the timescales simulated
+// here (the production Cronos code uses a constrained-transport variant for
+// long-horizon runs).
+
+// MaxDivB returns the largest absolute central-difference divergence of the
+// magnetic field over the interior.
+func (g *Grid) MaxDivB() float64 {
+	var max float64
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				div := (g.At(IBx, i+1, j, k)-g.At(IBx, i-1, j, k))/(2*g.DX) +
+					(g.At(IBy, i, j+1, k)-g.At(IBy, i, j-1, k))/(2*g.DY) +
+					(g.At(IBz, i, j, k+1)-g.At(IBz, i, j, k-1))/(2*g.DZ)
+				if a := math.Abs(div); a > max {
+					max = a
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Extrema holds the range of one conserved variable over the interior.
+type Extrema struct {
+	Min, Max float64
+}
+
+// VarExtrema returns the interior range of conserved variable v.
+func (g *Grid) VarExtrema(v int) Extrema {
+	e := Extrema{Min: math.Inf(1), Max: math.Inf(-1)}
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			row := g.Idx(0, j, k)
+			for i := 0; i < g.NX; i++ {
+				x := g.U[v][row+i]
+				if x < e.Min {
+					e.Min = x
+				}
+				if x > e.Max {
+					e.Max = x
+				}
+			}
+		}
+	}
+	return e
+}
+
+// KineticEnergy integrates ½ρv² over the interior.
+func (g *Grid) KineticEnergy() float64 {
+	var sum float64
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			row := g.Idx(0, j, k)
+			for i := 0; i < g.NX; i++ {
+				rho := g.U[IRho][row+i]
+				if rho <= 0 {
+					continue
+				}
+				mx, my, mz := g.U[IMx][row+i], g.U[IMy][row+i], g.U[IMz][row+i]
+				sum += 0.5 * (mx*mx + my*my + mz*mz) / rho
+			}
+		}
+	}
+	return sum * g.DX * g.DY * g.DZ
+}
+
+// MagneticEnergy integrates ½B² over the interior.
+func (g *Grid) MagneticEnergy() float64 {
+	var sum float64
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			row := g.Idx(0, j, k)
+			for i := 0; i < g.NX; i++ {
+				bx, by, bz := g.U[IBx][row+i], g.U[IBy][row+i], g.U[IBz][row+i]
+				sum += 0.5 * (bx*bx + by*by + bz*bz)
+			}
+		}
+	}
+	return sum * g.DX * g.DY * g.DZ
+}
+
+// IsFinite reports whether every interior value of every variable is finite
+// — the cheap sanity check long runs assert between checkpoints.
+func (g *Grid) IsFinite() bool {
+	for v := 0; v < NVars; v++ {
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				row := g.Idx(0, j, k)
+				for i := 0; i < g.NX; i++ {
+					x := g.U[v][row+i]
+					if math.IsNaN(x) || math.IsInf(x, 0) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// WriteSliceCSV writes the z=k plane of conserved variable v as CSV rows
+// (y-major), a simple snapshot format for external plotting.
+func (g *Grid) WriteSliceCSV(w io.Writer, v, k int) error {
+	if v < 0 || v >= NVars {
+		return fmt.Errorf("cronos: variable index %d out of range", v)
+	}
+	if k < 0 || k >= g.NZ {
+		return fmt.Errorf("cronos: z index %d out of range", k)
+	}
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%.8g", g.At(v, i, j, k)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Profile1D extracts conserved variable v along x at the given (j,k) row —
+// the standard way to compare shock-tube solutions against references.
+func (g *Grid) Profile1D(v, j, k int) []float64 {
+	out := make([]float64, g.NX)
+	for i := 0; i < g.NX; i++ {
+		out[i] = g.At(v, i, j, k)
+	}
+	return out
+}

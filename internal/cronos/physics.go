@@ -1,0 +1,191 @@
+package cronos
+
+import "math"
+
+// Gamma is the adiabatic index of the ideal gas (monatomic, 5/3), the value
+// used by Cronos' astrophysical setups.
+const Gamma = 5.0 / 3.0
+
+// floorRho and floorP guard against unphysical states produced by truncation
+// error in near-vacuum regions.
+const (
+	floorRho = 1e-10
+	floorP   = 1e-12
+)
+
+// prim holds the primitive-variable view of one cell: density, velocity,
+// gas pressure and magnetic field.
+type prim struct {
+	rho        float64
+	vx, vy, vz float64
+	p          float64
+	bx, by, bz float64
+}
+
+// cons holds the conserved variables of one cell.
+type cons struct {
+	rho        float64
+	mx, my, mz float64
+	en         float64
+	bx, by, bz float64
+}
+
+// toPrim converts conserved to primitive variables with positivity floors.
+func toPrim(c cons) prim {
+	rho := c.rho
+	if rho < floorRho {
+		rho = floorRho
+	}
+	vx, vy, vz := c.mx/rho, c.my/rho, c.mz/rho
+	kin := 0.5 * rho * (vx*vx + vy*vy + vz*vz)
+	mag := 0.5 * (c.bx*c.bx + c.by*c.by + c.bz*c.bz)
+	p := (Gamma - 1) * (c.en - kin - mag)
+	if p < floorP {
+		p = floorP
+	}
+	return prim{rho: rho, vx: vx, vy: vy, vz: vz, p: p, bx: c.bx, by: c.by, bz: c.bz}
+}
+
+// toCons converts primitive to conserved variables.
+func toCons(w prim) cons {
+	kin := 0.5 * w.rho * (w.vx*w.vx + w.vy*w.vy + w.vz*w.vz)
+	mag := 0.5 * (w.bx*w.bx + w.by*w.by + w.bz*w.bz)
+	return cons{
+		rho: w.rho,
+		mx:  w.rho * w.vx, my: w.rho * w.vy, mz: w.rho * w.vz,
+		en: w.p/(Gamma-1) + kin + mag,
+		bx: w.bx, by: w.by, bz: w.bz,
+	}
+}
+
+// fastSpeed returns the fast magnetosonic speed along direction dir (0=x,
+// 1=y, 2=z) for primitive state w — the signal speed entering both the HLL
+// flux and the CFL condition.
+func fastSpeed(w prim, dir int) float64 {
+	a2 := Gamma * w.p / w.rho
+	b2 := (w.bx*w.bx + w.by*w.by + w.bz*w.bz) / w.rho
+	var bd float64
+	switch dir {
+	case 0:
+		bd = w.bx
+	case 1:
+		bd = w.by
+	default:
+		bd = w.bz
+	}
+	bd2 := bd * bd / w.rho
+	s := a2 + b2
+	disc := s*s - 4*a2*bd2
+	if disc < 0 {
+		disc = 0
+	}
+	return math.Sqrt(0.5 * (s + math.Sqrt(disc)))
+}
+
+// velAlong returns the velocity component of w along dir.
+func velAlong(w prim, dir int) float64 {
+	switch dir {
+	case 0:
+		return w.vx
+	case 1:
+		return w.vy
+	default:
+		return w.vz
+	}
+}
+
+// physFlux computes the ideal-MHD flux vector of state w along direction dir.
+func physFlux(w prim, dir int) [NVars]float64 {
+	c := toCons(w)
+	ptot := w.p + 0.5*(w.bx*w.bx+w.by*w.by+w.bz*w.bz)
+	v := [3]float64{w.vx, w.vy, w.vz}
+	b := [3]float64{w.bx, w.by, w.bz}
+	m := [3]float64{c.mx, c.my, c.mz}
+	vn, bn := v[dir], b[dir]
+
+	var f [NVars]float64
+	f[IRho] = c.rho * vn
+	for d := 0; d < 3; d++ {
+		f[IMx+d] = m[d]*vn - b[d]*bn
+	}
+	f[IMx+dir] += ptot
+	vDotB := v[0]*b[0] + v[1]*b[1] + v[2]*b[2]
+	f[IEn] = (c.en+ptot)*vn - bn*vDotB
+	for d := 0; d < 3; d++ {
+		f[IBx+d] = b[d]*vn - v[d]*bn
+	}
+	f[IBx+dir] = 0 // normal field is advected by the constrained update
+	return f
+}
+
+// hll computes the HLL approximate Riemann flux between left and right
+// states along dir.
+func hll(l, r prim, dir int) [NVars]float64 {
+	cl := fastSpeed(l, dir)
+	cr := fastSpeed(r, dir)
+	vl := velAlong(l, dir)
+	vr := velAlong(r, dir)
+	sl := math.Min(vl-cl, vr-cr)
+	sr := math.Max(vl+cl, vr+cr)
+
+	fl := physFlux(l, dir)
+	if sl >= 0 {
+		return fl
+	}
+	fr := physFlux(r, dir)
+	if sr <= 0 {
+		return fr
+	}
+	ul := consArray(toCons(l))
+	ur := consArray(toCons(r))
+	var f [NVars]float64
+	inv := 1 / (sr - sl)
+	for v := 0; v < NVars; v++ {
+		f[v] = (sr*fl[v] - sl*fr[v] + sl*sr*(ur[v]-ul[v])) * inv
+	}
+	return f
+}
+
+func consArray(c cons) [NVars]float64 {
+	return [NVars]float64{c.rho, c.mx, c.my, c.mz, c.en, c.bx, c.by, c.bz}
+}
+
+// minmod is the default slope limiter of the MUSCL reconstruction: the most
+// dissipative TVD choice, maximally robust at shocks.
+func minmod(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	if math.Abs(a) < math.Abs(b) {
+		return a
+	}
+	return b
+}
+
+// vanLeer is the harmonic-mean limiter: less dissipative than minmod on
+// smooth flow while remaining TVD — the trade-off Cronos exposes through its
+// reconstruction options.
+func vanLeer(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// Limiter selects the MUSCL slope limiter.
+type Limiter int
+
+const (
+	// LimiterMinmod is the robust default.
+	LimiterMinmod Limiter = iota
+	// LimiterVanLeer is sharper on smooth solutions.
+	LimiterVanLeer
+)
+
+// limiterFunc returns the slope function for the selection.
+func (l Limiter) limiterFunc() func(a, b float64) float64 {
+	if l == LimiterVanLeer {
+		return vanLeer
+	}
+	return minmod
+}

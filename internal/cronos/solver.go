@@ -1,0 +1,391 @@
+package cronos
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Config configures a solver run.
+type Config struct {
+	NX, NY, NZ int
+	Boundary   Boundary
+	// CFLNumber is the Courant number (0 selects the default 0.4).
+	CFLNumber float64
+	// Workers is the goroutine-pool width (0 selects GOMAXPROCS).
+	Workers int
+	// InitialDT bounds the first timestep before a CFL value exists.
+	InitialDT float64
+	// Limiter selects the MUSCL slope limiter (default minmod).
+	Limiter Limiter
+}
+
+// Solver advances an MHD state following Algorithm 1 of the paper.
+type Solver struct {
+	Grid     *Grid
+	cfg      Config
+	Time     float64
+	DT       float64
+	StepsRun int
+	// CFLMax is the most recent global CFL reduction result.
+	CFLMax float64
+	// FluxEvals counts HLL flux evaluations, for profile cross-checks.
+	FluxEvals int64
+
+	changes *Grid // dU/dt buffer
+	stage   *Grid // RK scratch
+	u0      *Grid // RK stage-0 snapshot
+	lim     func(a, b float64) float64
+}
+
+// NewSolver builds a solver with an allocated grid; call an initializer from
+// problems.go (or fill Grid manually) before Run.
+func NewSolver(cfg Config) (*Solver, error) {
+	g, err := NewGrid(cfg.NX, cfg.NY, cfg.NZ)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CFLNumber == 0 {
+		cfg.CFLNumber = 0.4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.InitialDT == 0 {
+		cfg.InitialDT = 1e-4
+	}
+	return &Solver{
+		Grid:    g,
+		cfg:     cfg,
+		DT:      cfg.InitialDT,
+		changes: g.Clone(),
+		stage:   g.Clone(),
+		u0:      g.Clone(),
+		lim:     cfg.Limiter.limiterFunc(),
+	}, nil
+}
+
+// Workers returns the configured pool width.
+func (s *Solver) Workers() int { return s.cfg.Workers }
+
+// parallelFor splits [0,n) across the worker pool and waits for completion.
+func (s *Solver) parallelFor(n int, body func(lo, hi int)) {
+	w := s.cfg.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// computeChanges evaluates dU/dt into s.changes from the state in g and
+// returns the global CFL value (max over cells of sum_d (|v_d|+c_f,d)/dx_d),
+// reduced in parallel through a channel, per Algorithm 1 lines 8-9.
+func (s *Solver) computeChanges(g *Grid) float64 {
+	for v := 0; v < NVars; v++ {
+		ch := s.changes.U[v]
+		for i := range ch {
+			ch[i] = 0
+		}
+	}
+
+	nWorkers := s.cfg.Workers
+	cflCh := make(chan float64, nWorkers)
+	var fluxes int64
+	var mu sync.Mutex
+
+	// X and Y sweeps parallelize over z-planes; each plane owns its faces.
+	s.parallelForCollect(g.NZ, cflCh, &fluxes, &mu, func(kLo, kHi int) (float64, int64) {
+		return s.sweepXY(g, kLo, kHi)
+	})
+	cflXY := drainMax(cflCh, cap(cflCh))
+
+	// Z sweep parallelizes over y-rows; faces along z stay row-local.
+	cflCh2 := make(chan float64, nWorkers)
+	s.parallelForCollect(g.NY, cflCh2, &fluxes, &mu, func(jLo, jHi int) (float64, int64) {
+		return s.sweepZ(g, jLo, jHi)
+	})
+	_ = drainMax(cflCh2, cap(cflCh2))
+
+	s.FluxEvals += fluxes
+	return cflXY
+}
+
+// parallelForCollect runs body over chunks of [0,n), sending each chunk's CFL
+// contribution to cflCh and accumulating flux counts.
+func (s *Solver) parallelForCollect(n int, cflCh chan float64, fluxes *int64, mu *sync.Mutex, body func(lo, hi int) (float64, int64)) {
+	w := cap(cflCh)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		c, fx := body(0, n)
+		cflCh <- c
+		mu.Lock()
+		*fluxes += fx
+		mu.Unlock()
+		for i := 1; i < cap(cflCh); i++ {
+			cflCh <- 0
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	sent := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		sent++
+		go func(lo, hi int) {
+			defer wg.Done()
+			c, fx := body(lo, hi)
+			cflCh <- c
+			mu.Lock()
+			*fluxes += fx
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i := sent; i < cap(cflCh); i++ {
+		cflCh <- 0
+	}
+}
+
+func drainMax(ch chan float64, n int) float64 {
+	m := 0.0
+	for i := 0; i < n; i++ {
+		if v := <-ch; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// sweepXY computes x- and y-direction flux differences (and the full 3-D CFL
+// value) for z-planes [kLo,kHi).
+func (s *Solver) sweepXY(g *Grid, kLo, kHi int) (cflMax float64, fluxes int64) {
+	nx, ny := g.NX, g.NY
+	// Pencil buffers: primitive states with two ghosts on each side.
+	wbuf := make([]prim, maxInt(nx, ny)+2*Ghost)
+	fl := make([][NVars]float64, maxInt(nx, ny)+1)
+
+	for k := kLo; k < kHi; k++ {
+		// --- X sweep (also accumulates the CFL reduction input) ---
+		for j := 0; j < ny; j++ {
+			for i := -Ghost; i < nx+Ghost; i++ {
+				wbuf[i+Ghost] = s.cellPrim(g, i, j, k)
+			}
+			for i := 0; i < nx; i++ {
+				w := wbuf[i+Ghost]
+				c := (math.Abs(w.vx)+fastSpeed(w, 0))/g.DX +
+					(math.Abs(w.vy)+fastSpeed(w, 1))/g.DY +
+					(math.Abs(w.vz)+fastSpeed(w, 2))/g.DZ
+				if c > cflMax {
+					cflMax = c
+				}
+			}
+			fluxes += s.pencilFlux(wbuf, fl, nx, 0)
+			inv := 1 / g.DX
+			for i := 0; i < nx; i++ {
+				idx := g.Idx(i, j, k)
+				for v := 0; v < NVars; v++ {
+					s.changes.U[v][idx] -= (fl[i+1][v] - fl[i][v]) * inv
+				}
+			}
+		}
+		// --- Y sweep ---
+		for i := 0; i < nx; i++ {
+			for j := -Ghost; j < ny+Ghost; j++ {
+				wbuf[j+Ghost] = s.cellPrim(g, i, j, k)
+			}
+			fluxes += s.pencilFlux(wbuf, fl, ny, 1)
+			inv := 1 / g.DY
+			for j := 0; j < ny; j++ {
+				idx := g.Idx(i, j, k)
+				for v := 0; v < NVars; v++ {
+					s.changes.U[v][idx] -= (fl[j+1][v] - fl[j][v]) * inv
+				}
+			}
+		}
+	}
+	return cflMax, fluxes
+}
+
+// sweepZ computes z-direction flux differences for y-rows [jLo,jHi).
+func (s *Solver) sweepZ(g *Grid, jLo, jHi int) (cflMax float64, fluxes int64) {
+	nx, nz := g.NX, g.NZ
+	wbuf := make([]prim, nz+2*Ghost)
+	fl := make([][NVars]float64, nz+1)
+	for j := jLo; j < jHi; j++ {
+		for i := 0; i < nx; i++ {
+			for k := -Ghost; k < nz+Ghost; k++ {
+				wbuf[k+Ghost] = s.cellPrim(g, i, j, k)
+			}
+			fluxes += s.pencilFlux(wbuf, fl, nz, 2)
+			inv := 1 / g.DZ
+			for k := 0; k < nz; k++ {
+				idx := g.Idx(i, j, k)
+				for v := 0; v < NVars; v++ {
+					s.changes.U[v][idx] -= (fl[k+1][v] - fl[k][v]) * inv
+				}
+			}
+		}
+	}
+	return 0, fluxes
+}
+
+// cellPrim loads the primitive state of cell (i,j,k) from g.
+func (s *Solver) cellPrim(g *Grid, i, j, k int) prim {
+	idx := g.Idx(i, j, k)
+	return toPrim(cons{
+		rho: g.U[IRho][idx],
+		mx:  g.U[IMx][idx], my: g.U[IMy][idx], mz: g.U[IMz][idx],
+		en: g.U[IEn][idx],
+		bx: g.U[IBx][idx], by: g.U[IBy][idx], bz: g.U[IBz][idx],
+	})
+}
+
+// pencilFlux fills fl[0..n] with MUSCL+HLL face fluxes along dir for a pencil
+// of n interior cells whose primitive states (with two ghosts per side) are
+// in w. Face f sits between cells f-1 and f. Returns the flux-evaluation
+// count.
+func (s *Solver) pencilFlux(w []prim, fl [][NVars]float64, n, dir int) int64 {
+	for f := 0; f <= n; f++ {
+		// Cells are offset by Ghost in w.
+		lm1, l, r, rp1 := w[f], w[f+1], w[f+2], w[f+3] // f-2, f-1, f, f+1
+		left := reconstruct(lm1, l, r, +1, s.lim)
+		right := reconstruct(l, r, rp1, -1, s.lim)
+		fl[f] = hll(left, right, dir)
+	}
+	return int64(n + 1)
+}
+
+// reconstruct extrapolates the primitive state of the middle cell to its
+// face (side=+1 right face, side=-1 left face) with limited slopes.
+func reconstruct(lo, mid, hi prim, side float64, lim func(a, b float64) float64) prim {
+	h := 0.5 * side
+	w := prim{
+		rho: mid.rho + h*lim(mid.rho-lo.rho, hi.rho-mid.rho),
+		vx:  mid.vx + h*lim(mid.vx-lo.vx, hi.vx-mid.vx),
+		vy:  mid.vy + h*lim(mid.vy-lo.vy, hi.vy-mid.vy),
+		vz:  mid.vz + h*lim(mid.vz-lo.vz, hi.vz-mid.vz),
+		p:   mid.p + h*lim(mid.p-lo.p, hi.p-mid.p),
+		bx:  mid.bx + h*lim(mid.bx-lo.bx, hi.bx-mid.bx),
+		by:  mid.by + h*lim(mid.by-lo.by, hi.by-mid.by),
+		bz:  mid.bz + h*lim(mid.bz-lo.bz, hi.bz-mid.bz),
+	}
+	if w.rho < floorRho {
+		w.rho = floorRho
+	}
+	if w.p < floorP {
+		w.p = floorP
+	}
+	return w
+}
+
+// integrateTime applies one SSP-RK3 substep, per Algorithm 1 line 10: the
+// grid is combined with the stage-0 snapshot and dt·L(u) with the classic
+// Shu-Osher coefficients.
+func (s *Solver) integrateTime(substep int) {
+	var a0, a1, b float64
+	switch substep {
+	case 0:
+		a0, a1, b = 1, 0, 1
+	case 1:
+		a0, a1, b = 0.75, 0.25, 0.25
+	default:
+		a0, a1, b = 1.0/3.0, 2.0/3.0, 2.0/3.0
+	}
+	g := s.Grid
+	dt := s.DT
+	n := len(g.U[0])
+	s.parallelFor(n, func(lo, hi int) {
+		for v := 0; v < NVars; v++ {
+			u, u0, ch := g.U[v], s.u0.U[v], s.changes.U[v]
+			for i := lo; i < hi; i++ {
+				u[i] = a0*u0[i] + a1*u[i] + b*dt*ch[i]
+			}
+		}
+	})
+}
+
+// Step advances one full timestep (three substeps, CFL reduction, boundary
+// refresh and timestep adjustment), following Algorithm 1 lines 4-14.
+func (s *Solver) Step() {
+	s.u0.CopyFrom(s.Grid)
+	var cfl float64
+	for substep := 0; substep < 3; substep++ {
+		c := s.computeChanges(s.Grid)
+		if c > cfl {
+			cfl = c
+		}
+		s.integrateTime(substep)
+		s.Grid.ApplyBoundary(s.cfg.Boundary)
+	}
+	s.CFLMax = cfl
+	s.Time += s.DT
+	s.StepsRun++
+	s.adjustTimestepDelta(cfl)
+}
+
+// adjustTimestepDelta sets the next dt from the CFL reduction, limiting
+// growth to 10% per step as Cronos does for stability.
+func (s *Solver) adjustTimestepDelta(cfl float64) {
+	if cfl <= 0 {
+		return
+	}
+	want := s.cfg.CFLNumber / cfl
+	if want > 1.1*s.DT && s.StepsRun > 1 {
+		want = 1.1 * s.DT
+	}
+	s.DT = want
+}
+
+// Run advances until endTime is reached or maxSteps steps have been taken
+// (maxSteps <= 0 means no step limit).
+func (s *Solver) Run(endTime float64, maxSteps int) error {
+	if s.Grid == nil {
+		return fmt.Errorf("cronos: solver has no grid")
+	}
+	s.Grid.ApplyBoundary(s.cfg.Boundary)
+	for s.Time < endTime {
+		if maxSteps > 0 && s.StepsRun >= maxSteps {
+			break
+		}
+		if s.Time+s.DT > endTime {
+			s.DT = endTime - s.Time
+		}
+		s.Step()
+		if math.IsNaN(s.CFLMax) || math.IsInf(s.CFLMax, 0) {
+			return fmt.Errorf("cronos: solver diverged at t=%g (step %d)", s.Time, s.StepsRun)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

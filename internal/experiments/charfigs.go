@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsenergy/internal/cronos"
+	"dsenergy/internal/ligen"
+	"dsenergy/internal/pareto"
+	"dsenergy/internal/synergy"
+)
+
+// CharPoint is one frequency configuration's outcome in a characterization
+// sweep: raw and baseline-normalized.
+type CharPoint struct {
+	FreqMHz    int
+	TimeS      float64
+	EnergyJ    float64
+	Speedup    float64
+	NormEnergy float64
+	OnPareto   bool
+}
+
+// Series is one labelled sweep (one workload on one device).
+type Series struct {
+	Label  string
+	Device string
+	Points []CharPoint
+	// ParetoFreqs lists the Pareto-optimal frequencies of the sweep.
+	ParetoFreqs []int
+}
+
+// Figure is a regenerated characterization figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// sweepSeries measures w on q across the config's sweep and builds the
+// normalized series with its Pareto front.
+func (c Config) sweepSeries(q *synergy.Queue, w synergy.Workload, label string) (Series, error) {
+	freqs := c.sweepFreqs(q.Spec())
+	ms, err := synergy.Sweep(q, w, freqs, c.Reps)
+	if err != nil {
+		return Series{}, err
+	}
+	base := q.BaselineFreqMHz()
+	var ref *synergy.Measurement
+	for i := range ms {
+		if ms[i].FreqMHz == base {
+			ref = &ms[i]
+			break
+		}
+	}
+	if ref == nil {
+		return Series{}, fmt.Errorf("experiments: baseline %d MHz missing from sweep", base)
+	}
+	s := Series{Label: label, Device: q.Spec().Name}
+	pts := make([]pareto.Point, 0, len(ms))
+	for _, m := range ms {
+		p := CharPoint{
+			FreqMHz: m.FreqMHz, TimeS: m.TimeS, EnergyJ: m.EnergyJ,
+			Speedup:    ref.TimeS / m.TimeS,
+			NormEnergy: m.EnergyJ / ref.EnergyJ,
+		}
+		s.Points = append(s.Points, p)
+		pts = append(pts, pareto.Point{FreqMHz: m.FreqMHz, Speedup: p.Speedup, NormEnergy: p.NormEnergy})
+	}
+	front := pareto.Front(pts)
+	onFront := map[int]bool{}
+	for _, p := range front {
+		onFront[p.FreqMHz] = true
+		s.ParetoFreqs = append(s.ParetoFreqs, p.FreqMHz)
+	}
+	for i := range s.Points {
+		s.Points[i].OnPareto = onFront[s.Points[i].FreqMHz]
+	}
+	return s, nil
+}
+
+// cronosWorkload builds the Cronos workload for a grid under this config.
+func (c Config) cronosWorkload(g [3]int) (cronos.Workload, error) {
+	return cronos.NewWorkload(g[0], g[1], g[2], c.CronosSteps)
+}
+
+// Fig1 regenerates Figure 1: LiGen and Cronos multi-objective
+// characterization on the V100 with Pareto fronts.
+func (c Config) Fig1() (Figure, error) {
+	p, err := c.platform()
+	if err != nil {
+		return Figure{}, err
+	}
+	q := p.Queues()[0] // V100
+	lw, err := ligen.NewWorkload(ligen.Input{Ligands: 4096, Atoms: 63, Fragments: 8})
+	if err != nil {
+		return Figure{}, err
+	}
+	ls, err := c.sweepSeries(q, lw, "LiGen")
+	if err != nil {
+		return Figure{}, err
+	}
+	cw, err := c.cronosWorkload([3]int{80, 32, 32})
+	if err != nil {
+		return Figure{}, err
+	}
+	cs, err := c.sweepSeries(q, cw, "Cronos")
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig1",
+		Title:  "LiGen and Cronos multi-objective characterization (V100)",
+		Series: []Series{ls, cs},
+	}, nil
+}
+
+// Fig2 regenerates Figure 2: LiGen small vs large input on the V100.
+func (c Config) Fig2() (Figure, error) {
+	return c.ligenPanels("fig2",
+		"LiGen characterization with small (2x89x8) and large (10000x89x20) inputs (V100)",
+		0, []ligen.Input{
+			{Ligands: 2, Atoms: 89, Fragments: 8},
+			{Ligands: 10000, Atoms: 89, Fragments: 20},
+		}, []string{"small (2 lig x 89 at x 8 fr)", "large (10000 lig x 89 at x 20 fr)"})
+}
+
+// Fig3 regenerates Figure 3: Cronos small vs large input on the V100.
+func (c Config) Fig3() (Figure, error) {
+	return c.cronosPanels("fig3",
+		"Cronos characterization with input sizes 20x8x8 and 160x64x64 (V100)",
+		0, [][3]int{{20, 8, 8}, {160, 64, 64}})
+}
+
+// Fig4 regenerates Figure 4: Cronos 10x4x4 vs 160x64x64 on the V100.
+func (c Config) Fig4() (Figure, error) {
+	return c.cronosPanels("fig4",
+		"Cronos characterization with small (10x4x4) and large (160x64x64) grids (V100)",
+		0, [][3]int{{10, 4, 4}, {160, 64, 64}})
+}
+
+// Fig5 regenerates Figure 5: the same grids on the AMD MI100 (auto
+// performance level baseline).
+func (c Config) Fig5() (Figure, error) {
+	return c.cronosPanels("fig5",
+		"Cronos characterization with small (10x4x4) and large (160x64x64) grids (MI100)",
+		1, [][3]int{{10, 4, 4}, {160, 64, 64}})
+}
+
+func (c Config) cronosPanels(id, title string, devIdx int, grids [][3]int) (Figure, error) {
+	p, err := c.platform()
+	if err != nil {
+		return Figure{}, err
+	}
+	q := p.Queues()[devIdx]
+	fig := Figure{ID: id, Title: title}
+	for _, g := range grids {
+		w, err := c.cronosWorkload(g)
+		if err != nil {
+			return Figure{}, err
+		}
+		s, err := c.sweepSeries(q, w, fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2]))
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func (c Config) ligenPanels(id, title string, devIdx int, inputs []ligen.Input, labels []string) (Figure, error) {
+	p, err := c.platform()
+	if err != nil {
+		return Figure{}, err
+	}
+	q := p.Queues()[devIdx]
+	fig := Figure{ID: id, Title: title}
+	for i, in := range inputs {
+		w, err := ligen.NewWorkload(in)
+		if err != nil {
+			return Figure{}, err
+		}
+		label := in.String()
+		if labels != nil {
+			label = labels[i]
+		}
+		s, err := c.sweepSeries(q, w, label)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig6 regenerates Figure 6: LiGen raw energy/time on the V100, 100000
+// ligands, panels for 31 and 89 atoms, one series per fragment count.
+func (c Config) Fig6() (Figure, error) { return c.ligenScaling("fig6", 0, true) }
+
+// Fig7 regenerates Figure 7: the fragment-scaling panels on the MI100.
+func (c Config) Fig7() (Figure, error) { return c.ligenScaling("fig7", 1, true) }
+
+// Fig8 regenerates Figure 8: LiGen on the V100 with fixed fragments (4, 20)
+// scaling atoms (31, 63, 74, 89).
+func (c Config) Fig8() (Figure, error) { return c.ligenScaling("fig8", 0, false) }
+
+// Fig9 regenerates Figure 9: the atom-scaling panels on the MI100.
+func (c Config) Fig9() (Figure, error) { return c.ligenScaling("fig9", 1, false) }
+
+// ligenScaling builds the raw energy-vs-time scaling figures. byFragment
+// selects Figure 6/7 (fixed atoms, series per fragment count); otherwise
+// Figure 8/9 (fixed fragments, series per atom count).
+func (c Config) ligenScaling(id string, devIdx int, byFragment bool) (Figure, error) {
+	p, err := c.platform()
+	if err != nil {
+		return Figure{}, err
+	}
+	q := p.Queues()[devIdx]
+	const ligands = 100000
+	fig := Figure{ID: id, Notes: []string{"raw joules vs seconds (not normalized), 100000 ligands"}}
+	if byFragment {
+		fig.Title = fmt.Sprintf("LiGen energy/time scaling fragments on %s", q.Spec().Name)
+		for _, atoms := range []int{31, 89} {
+			for _, frags := range []int{4, 8, 16, 20} {
+				w, err := ligen.NewWorkload(ligen.Input{Ligands: ligands, Atoms: atoms, Fragments: frags})
+				if err != nil {
+					return Figure{}, err
+				}
+				s, err := c.sweepSeries(q, w, fmt.Sprintf("%d atoms, %d frags", atoms, frags))
+				if err != nil {
+					return Figure{}, err
+				}
+				fig.Series = append(fig.Series, s)
+			}
+		}
+		return fig, nil
+	}
+	fig.Title = fmt.Sprintf("LiGen energy/time scaling atoms on %s", q.Spec().Name)
+	for _, frags := range []int{4, 20} {
+		for _, atoms := range []int{31, 63, 74, 89} {
+			w, err := ligen.NewWorkload(ligen.Input{Ligands: ligands, Atoms: atoms, Fragments: frags})
+			if err != nil {
+				return Figure{}, err
+			}
+			s, err := c.sweepSeries(q, w, fmt.Sprintf("%d frags, %d atoms", frags, atoms))
+			if err != nil {
+				return Figure{}, err
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Fig10 regenerates Figure 10: LiGen small (256x31x4) vs large (10000x89x20)
+// inputs on both devices, with Pareto fronts.
+func (c Config) Fig10() (Figure, error) {
+	p, err := c.platform()
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:    "fig10",
+		Title: "LiGen characterization, small and large inputs, V100 and MI100",
+	}
+	inputs := []ligen.Input{
+		{Ligands: 256, Atoms: 31, Fragments: 4},
+		{Ligands: 10000, Atoms: 89, Fragments: 20},
+	}
+	for _, q := range p.Queues() {
+		for _, in := range inputs {
+			w, err := ligen.NewWorkload(in)
+			if err != nil {
+				return Figure{}, err
+			}
+			s, err := c.sweepSeries(q, w, in.String())
+			if err != nil {
+				return Figure{}, err
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}

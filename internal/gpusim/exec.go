@@ -1,0 +1,200 @@
+package gpusim
+
+import (
+	"math"
+
+	"dsenergy/internal/kernels"
+)
+
+// Breakdown exposes the intermediate quantities of the analytical model for
+// one execution. It is returned by AnalyzeAt for inspection, debugging and
+// white-box tests; Analytic returns only the externally observable Result.
+type Breakdown struct {
+	FreqGHz      float64 // core frequency used
+	VoltageV     float64 // operating voltage at that frequency
+	Utilization  float64 // fraction of resident-item capacity in use
+	ComputeTimeS float64 // per-launch time under the compute roof
+	MemTimeS     float64 // per-launch time under the memory roof
+	OverheadS    float64 // per-launch enqueue/dispatch overhead
+	MemBound     bool    // whether the memory roof dominates
+	DRAMBytes    float64 // effective DRAM traffic per launch after caching
+	AchievedGBs  float64 // realized DRAM bandwidth
+	ActivityComp float64 // ALU duty cycle (drives dynamic power)
+	IdleW        float64
+	LeakW        float64
+	DynW         float64
+	MemW         float64
+	TotalPowerW  float64
+	TimeS        float64 // total wall time, all launches
+	EnergyJ      float64
+}
+
+// voltageAt returns the operating voltage of the V/f curve at freq (MHz).
+func (s Spec) voltageAt(mhz int) float64 {
+	fmax := float64(s.FMaxMHz())
+	knee := s.VKnee * fmax
+	f := float64(mhz)
+	if f <= knee {
+		return s.VMin
+	}
+	x := (f - knee) / (fmax - knee)
+	return s.VMin + (s.VMax-s.VMin)*math.Pow(x, s.VExp)
+}
+
+// bwFactorAt returns the fraction of the achieved bandwidth available at the
+// given core frequency: below the bandwidth knee the cores cannot issue
+// enough outstanding requests to keep DRAM busy.
+func (s Spec) bwFactorAt(mhz int) float64 {
+	fr := float64(mhz) / float64(s.FMaxMHz())
+	if fr >= s.BWKnee {
+		return 1
+	}
+	return math.Pow(fr/s.BWKnee, s.BWKneeExp)
+}
+
+// dramTraffic returns the effective DRAM bytes of one launch after the cache
+// model: a fraction CacheReuse of the raw accesses hits cache while the
+// working set fits in the LLC; as the working set grows past the LLC the
+// reused fraction progressively spills back to DRAM.
+func (s Spec) dramTraffic(p kernels.Profile) float64 {
+	raw := p.RawGlobalBytes()
+	miss := 1 - p.CacheReuse
+	if p.WorkingSetBytes > s.LLCBytes && p.WorkingSetBytes > 0 {
+		spill := 1 - s.LLCBytes/p.WorkingSetBytes
+		miss += p.CacheReuse * spill
+	}
+	return raw * miss
+}
+
+// AnalyzeAt evaluates the noiseless analytical model for profile p at the
+// given core frequency and returns the full breakdown.
+func (d *Device) AnalyzeAt(p kernels.Profile, mhz int) Breakdown {
+	s := &d.spec
+	fGHz := float64(mhz) / 1000
+	v := s.voltageAt(mhz)
+
+	// --- Occupancy ---------------------------------------------------------
+	// util is the fraction of the device's resident-item capacity occupied
+	// by one launch; it throttles both achievable issue rate (indirectly,
+	// through parallelism) and dynamic power.
+	util := p.WorkItems / s.ConcurrentItems
+	if util > 1 {
+		util = 1
+	}
+
+	// --- Compute roof -------------------------------------------------------
+	// Effective parallel lanes: a launch cannot use more lanes than it has
+	// work items.
+	lanes := float64(s.NumCU * s.LanesPerCU)
+	activeLanes := math.Min(p.WorkItems, lanes)
+	issueRate := activeLanes * s.ComputeEff * fGHz * 1e9 // lane-cycles/s
+	tComp := p.TotalComputeCycles() / issueRate
+
+	// --- Memory roof --------------------------------------------------------
+	bytes := s.dramTraffic(p)
+	bwUtil := p.WorkItems / s.BWSaturateItems
+	if bwUtil > 1 {
+		bwUtil = 1
+	}
+	minUtil := s.BWMinUtil
+	if minUtil == 0 {
+		minUtil = 0.02
+	}
+	if bwUtil < minUtil {
+		bwUtil = minUtil
+	}
+	bw := s.PeakBWGBs * 1e9 * s.MemEff * bwUtil * s.bwFactorAt(mhz)
+	var tMem float64
+	if bytes > 0 {
+		tMem = bytes / bw
+	}
+
+	// --- Launch composition --------------------------------------------------
+	overhead := s.LaunchFixedS + s.LaunchCycles/(fGHz*1e9)
+	tLaunch := math.Max(tComp, tMem) + overhead
+	total := tLaunch * p.Launches
+
+	// --- Power ---------------------------------------------------------------
+	// The ALUs are busy only for the compute fraction of each launch.
+	duty := 1.0
+	if tMem > tComp && tLaunch > 0 {
+		duty = (tComp + overhead*0.1) / tLaunch
+	}
+	act := util * duty
+	dynW := s.DynCoeffW * float64(s.NumCU) * v * v * fGHz * act
+	// Clock-tree and uncore switching power is paid chip-wide whenever a
+	// kernel is resident, regardless of occupancy; on real boards this is
+	// what separates busy-idle from deep-idle power.
+	dynW += s.ClockCoeffW * v * v * fGHz
+	leakW := s.LeakCoeffW * v * v
+	achievedGBs := 0.0
+	if tLaunch > 0 {
+		achievedGBs = bytes / tLaunch / 1e9
+	}
+	memW := s.MemCoeffWGBs * achievedGBs
+	powerW := s.IdleW + leakW + dynW + memW
+
+	return Breakdown{
+		FreqGHz:      fGHz,
+		VoltageV:     v,
+		Utilization:  util,
+		ComputeTimeS: tComp,
+		MemTimeS:     tMem,
+		OverheadS:    overhead,
+		MemBound:     tMem > tComp,
+		DRAMBytes:    bytes,
+		AchievedGBs:  achievedGBs,
+		ActivityComp: act,
+		IdleW:        s.IdleW,
+		LeakW:        leakW,
+		DynW:         dynW,
+		MemW:         memW,
+		TotalPowerW:  powerW,
+		TimeS:        total,
+		EnergyJ:      powerW * total,
+	}
+}
+
+// Analytic returns the noiseless (time, energy) prediction of the model for
+// profile p at the given frequency.
+func (d *Device) Analytic(p kernels.Profile, mhz int) Result {
+	b := d.AnalyzeAt(p, mhz)
+	return Result{TimeS: b.TimeS, EnergyJ: b.EnergyJ, AvgPowerW: b.TotalPowerW}
+}
+
+// DefaultNoiseSigma is the relative standard deviation of the multiplicative
+// measurement noise applied to simulated observations. It corresponds to the
+// run-to-run variability of wall-clock and energy-counter readings on real
+// hardware (below one percent on an otherwise idle node).
+const DefaultNoiseSigma = 0.006
+
+// NoiseModel perturbs analytic results with multiplicative Gaussian noise,
+// standing in for the measurement variability the paper averages away by
+// repeating every experiment five times.
+type NoiseModel struct {
+	Sigma float64
+	rng   interface{ Norm() float64 }
+}
+
+// NewNoiseModel returns a noise model with relative level sigma drawing
+// variates from rng.
+func NewNoiseModel(sigma float64, rng interface{ Norm() float64 }) *NoiseModel {
+	return &NoiseModel{Sigma: sigma, rng: rng}
+}
+
+// Perturb applies independent multiplicative noise to time and energy.
+func (n *NoiseModel) Perturb(r Result) Result {
+	if n.Sigma == 0 {
+		return r
+	}
+	r.TimeS *= 1 + n.Sigma*n.rng.Norm()
+	r.EnergyJ *= 1 + n.Sigma*n.rng.Norm()
+	if r.TimeS <= 0 {
+		r.TimeS = 1e-12
+	}
+	if r.EnergyJ <= 0 {
+		r.EnergyJ = 1e-12
+	}
+	r.AvgPowerW = r.EnergyJ / r.TimeS
+	return r
+}

@@ -1,0 +1,90 @@
+package ligen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Structural analysis utilities for poses and molecules, used to inspect
+// docking results (pose diversity, geometric sanity) the way screening
+// pipelines post-process LiGen output.
+
+// RMSD returns the root-mean-square deviation between two coordinate sets of
+// equal length, without superposition (docking poses share the pocket frame,
+// so direct RMSD is the conventional pose-similarity measure).
+func RMSD(a, b []Vec3) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("ligen: RMSD needs equal non-empty coordinate sets (%d vs %d)", len(a), len(b))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i].Sub(b[i])
+		sum += d.Dot(d)
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// RadiusOfGyration returns the mass-uniform radius of gyration of a
+// coordinate set — a compactness measure that distinguishes extended from
+// collapsed conformations.
+func RadiusOfGyration(coords []Vec3) float64 {
+	if len(coords) == 0 {
+		return 0
+	}
+	var c Vec3
+	for _, p := range coords {
+		c = c.Add(p)
+	}
+	c = c.Scale(1 / float64(len(coords)))
+	var sum float64
+	for _, p := range coords {
+		d := p.Sub(c)
+		sum += d.Dot(d)
+	}
+	return math.Sqrt(sum / float64(len(coords)))
+}
+
+// BondLengthStats verifies that a pose preserved the molecule's bond
+// geometry (rigid-body and rotamer moves must not stretch bonds): it returns
+// the min and max bonded distance across the pose.
+func BondLengthStats(l *Ligand, coords []Vec3) (min, max float64, err error) {
+	if len(coords) != len(l.Atoms) {
+		return 0, 0, fmt.Errorf("ligen: pose has %d atoms, ligand %d", len(coords), len(l.Atoms))
+	}
+	if len(l.Bonds) == 0 {
+		return 0, 0, fmt.Errorf("ligen: ligand has no bonds")
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, b := range l.Bonds {
+		d := coords[b[0]].Sub(coords[b[1]]).Norm()
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max, nil
+}
+
+// PoseDiversity returns the mean pairwise RMSD of a pose set — high values
+// mean the restarts explored distinct placements, low values mean the search
+// collapsed to one basin.
+func PoseDiversity(poses []Pose) (float64, error) {
+	if len(poses) < 2 {
+		return 0, fmt.Errorf("ligen: diversity needs >= 2 poses")
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(poses); i++ {
+		for j := i + 1; j < len(poses); j++ {
+			r, err := RMSD(poses[i].Coords, poses[j].Coords)
+			if err != nil {
+				return 0, err
+			}
+			sum += r
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,52 @@
+package ligen
+
+import (
+	"testing"
+
+	"dsenergy/internal/xrand"
+)
+
+func BenchmarkDockSingleLigand(b *testing.B) {
+	pocket, err := GenPocket(xrand.New(1), 24, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lig, err := GenLigand(xrand.New(2), "bench", 31, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := TestParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dock(lig, pocket, params, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScreenParallel(b *testing.B) {
+	pocket, err := GenPocket(xrand.New(1), 24, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := GenLibrary(xrand.New(3), 16, 25, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Screen(lib, pocket, TestParams(), 0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadProfiles(b *testing.B) {
+	w, err := NewWorkload(Input{Ligands: 10000, Atoms: 89, Fragments: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = w.Profiles()
+	}
+}

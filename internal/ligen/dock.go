@@ -1,0 +1,222 @@
+package ligen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsenergy/internal/xrand"
+)
+
+// Params are LiGen's docking parameters (the Data row of Algorithm 2). The
+// defaults are sized like a production virtual-screening campaign: many
+// restarts per ligand so the pose search dominates the runtime, as the
+// paper's complexity analysis (cost ∝ restarts · iterations · rotamers ·
+// atoms) requires.
+type Params struct {
+	NumRestart    int // independent pose restarts per ligand
+	NumIterations int // optimization sweeps per restart
+	NumAngles     int // rotamer angles probed per optimize call
+	MaxNumPoses   int // poses kept for the scoring phase
+}
+
+// DefaultParams returns campaign-scale parameters.
+func DefaultParams() Params {
+	return Params{NumRestart: 256, NumIterations: 4, NumAngles: 8, MaxNumPoses: 8}
+}
+
+// TestParams returns reduced parameters for fast CPU-reference runs in tests
+// and examples.
+func TestParams() Params {
+	return Params{NumRestart: 4, NumIterations: 2, NumAngles: 4, MaxNumPoses: 2}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.NumRestart < 1 || p.NumIterations < 1 || p.NumAngles < 1 || p.MaxNumPoses < 1 {
+		return fmt.Errorf("ligen: all docking parameters must be >= 1: %+v", p)
+	}
+	return nil
+}
+
+// Pose is one candidate placement of a ligand inside the pocket.
+type Pose struct {
+	Coords []Vec3  // world-space atom positions
+	Score  float64 // quick evaluation score (dock phase)
+}
+
+// clonePose deep-copies a pose's coordinates.
+func clonePose(p Pose) Pose {
+	c := make([]Vec3, len(p.Coords))
+	copy(c, p.Coords)
+	return Pose{Coords: c, Score: p.Score}
+}
+
+// initializePose builds restart i's starting pose: the ligand frame rotated
+// by deterministic pseudo-random Euler angles and jittered around the pocket
+// center (Algorithm 2 line 3).
+func initializePose(l *Ligand, rng *xrand.Rand) Pose {
+	ax, ay, az := 2*math.Pi*rng.Float64(), 2*math.Pi*rng.Float64(), 2*math.Pi*rng.Float64()
+	sinA, cosA := math.Sin(ax), math.Cos(ax)
+	sinB, cosB := math.Sin(ay), math.Cos(ay)
+	sinC, cosC := math.Sin(az), math.Cos(az)
+	jitter := Vec3{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}.Scale(2)
+
+	coords := make([]Vec3, len(l.Atoms))
+	for i, a := range l.Atoms {
+		p := a.Pos
+		// Z-Y-X Euler rotation.
+		p = Vec3{p[0]*cosC - p[1]*sinC, p[0]*sinC + p[1]*cosC, p[2]}
+		p = Vec3{p[0]*cosB + p[2]*sinB, p[1], -p[0]*sinB + p[2]*cosB}
+		p = Vec3{p[0], p[1]*cosA - p[2]*sinA, p[1]*sinA + p[2]*cosA}
+		coords[i] = p.Add(jitter)
+	}
+	return Pose{Coords: coords}
+}
+
+// align translates the pose so its centroid coincides with the pocket center
+// (Algorithm 2 line 4).
+func align(pose Pose, target *Pocket) Pose {
+	var c Vec3
+	for _, p := range pose.Coords {
+		c = c.Add(p)
+	}
+	c = c.Scale(1 / float64(len(pose.Coords)))
+	shift := target.Center.Sub(c)
+	for i := range pose.Coords {
+		pose.Coords[i] = pose.Coords[i].Add(shift)
+	}
+	return pose
+}
+
+// quickEvaluate scores a subset of atoms against the affinity field — the
+// inner-loop objective of the fragment optimization.
+func quickEvaluate(coords []Vec3, atoms []int, target *Pocket) float64 {
+	var s float64
+	for _, i := range atoms {
+		s += target.Affinity(coords[i])
+	}
+	return s
+}
+
+// optimize probes NumAngles rotations of the rotamer owning the fragment and
+// keeps the best-scoring geometry (Algorithm 2 line 7).
+func optimize(pose Pose, rot Rotamer, target *Pocket, nAngles int) Pose {
+	axis := pose.Coords[rot.B].Sub(pose.Coords[rot.A]).Normalize()
+	anchor := pose.Coords[rot.A]
+	bestScore := quickEvaluate(pose.Coords, rot.Moving, target)
+	bestTheta := 0.0
+	scratch := make([]Vec3, len(rot.Moving))
+	for a := 1; a < nAngles; a++ {
+		theta := 2 * math.Pi * float64(a) / float64(nAngles)
+		for m, idx := range rot.Moving {
+			scratch[m] = rotatePoint(pose.Coords[idx], anchor, axis, theta)
+		}
+		var s float64
+		for m := range rot.Moving {
+			s += target.Affinity(scratch[m])
+		}
+		if s > bestScore {
+			bestScore = s
+			bestTheta = theta
+		}
+	}
+	if bestTheta != 0 {
+		for _, idx := range rot.Moving {
+			pose.Coords[idx] = rotatePoint(pose.Coords[idx], anchor, axis, bestTheta)
+		}
+	}
+	return pose
+}
+
+// evaluate computes the dock-phase score of a full pose: pocket affinity of
+// every atom minus an intramolecular clash penalty (Algorithm 2 line 10).
+func evaluate(pose Pose, l *Ligand, target *Pocket) Pose {
+	s := quickEvaluate(pose.Coords, allAtomIndices(l), target)
+	s -= clashPenalty(pose.Coords, l)
+	pose.Score = s
+	return pose
+}
+
+// clashPenalty penalizes non-bonded atom pairs closer than the sum of their
+// radii. Bonded neighbours (chain distance 1) are exempt.
+func clashPenalty(coords []Vec3, l *Ligand) float64 {
+	var pen float64
+	for i := 0; i < len(coords); i++ {
+		for j := i + 2; j < len(coords); j++ {
+			d := coords[i].Sub(coords[j]).Norm()
+			min := 0.7 * (l.Atoms[i].Radius + l.Atoms[j].Radius)
+			if d < min {
+				pen += (min - d) * (min - d) * 10
+			}
+		}
+	}
+	return pen
+}
+
+// computeScore is the refined scoring-phase function (Algorithm 2 line 15):
+// affinity plus electrostatic interaction and a soft van-der-Waals term.
+func computeScore(pose Pose, l *Ligand, target *Pocket) float64 {
+	var s float64
+	for i, p := range pose.Coords {
+		aff := target.Affinity(p)
+		elec := l.Atoms[i].Charge * target.Potential(p)
+		vdw := math.Exp(-p.Sub(target.Center).Norm() / (4 * l.Atoms[i].Radius))
+		s += aff + 2*elec + 0.5*vdw
+	}
+	return s - clashPenalty(pose.Coords, l)
+}
+
+func allAtomIndices(l *Ligand) []int {
+	idx := make([]int, len(l.Atoms))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// DockResult is the outcome of docking one ligand.
+type DockResult struct {
+	Score     float64 // best scoring-phase score (the ranking key)
+	BestPose  Pose
+	PosesKept int
+}
+
+// Dock runs Algorithm 2 for one ligand against the target. rng drives the
+// pose restarts deterministically; pass an independent split per ligand.
+func Dock(l *Ligand, target *Pocket, params Params, rng *xrand.Rand) (DockResult, error) {
+	if err := params.Validate(); err != nil {
+		return DockResult{}, err
+	}
+	if len(l.Atoms) == 0 {
+		return DockResult{}, fmt.Errorf("ligen: ligand %s has no atoms", l.Name)
+	}
+
+	poses := make([]Pose, 0, params.NumRestart)
+	for r := 0; r < params.NumRestart; r++ {
+		pose := initializePose(l, rng)
+		pose = align(pose, target)
+		for n := 0; n < params.NumIterations; n++ {
+			for _, rot := range l.Rotamers {
+				pose = optimize(pose, rot, target, params.NumAngles)
+			}
+		}
+		pose = evaluate(pose, l, target)
+		poses = append(poses, pose)
+	}
+
+	// poses = clip(sort(poses), max_num_poses)
+	sort.Slice(poses, func(i, j int) bool { return poses[i].Score > poses[j].Score })
+	if len(poses) > params.MaxNumPoses {
+		poses = poses[:params.MaxNumPoses]
+	}
+
+	best := DockResult{Score: math.Inf(-1), PosesKept: len(poses)}
+	for _, pose := range poses {
+		if s := computeScore(pose, l, target); s > best.Score {
+			best.Score = s
+			best.BestPose = clonePose(pose)
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,208 @@
+package ligen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization of ligands in a compact line-oriented format inspired by the
+// SDF/MOL conventions drug-discovery pipelines exchange: a header with the
+// counts, one line per atom, one line per bond, and one line per rotamer.
+// The format is self-describing enough to round-trip every field the docking
+// engine uses.
+
+// WriteLigand serializes l to w.
+func WriteLigand(w io.Writer, l *Ligand) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "LIGAND %s\n", l.Name)
+	fmt.Fprintf(bw, "COUNTS %d %d %d %d\n",
+		len(l.Atoms), len(l.Bonds), len(l.Rotamers), len(l.Fragments))
+	for _, a := range l.Atoms {
+		fmt.Fprintf(bw, "ATOM %.17g %.17g %.17g %.17g %.17g\n",
+			a.Pos[0], a.Pos[1], a.Pos[2], a.Charge, a.Radius)
+	}
+	for _, b := range l.Bonds {
+		fmt.Fprintf(bw, "BOND %d %d\n", b[0], b[1])
+	}
+	for _, r := range l.Rotamers {
+		fmt.Fprintf(bw, "ROT %d %d %s\n", r.A, r.B, joinInts(r.Moving))
+	}
+	for _, f := range l.Fragments {
+		fmt.Fprintf(bw, "FRAG %s\n", joinInts(f))
+	}
+	return bw.Flush()
+}
+
+// ReadLigand parses a ligand serialized by WriteLigand.
+func ReadLigand(r io.Reader) (*Ligand, error) {
+	sc := bufio.NewScanner(r)
+	l := &Ligand{}
+	var nAtoms, nBonds, nRots, nFrags int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "LIGAND":
+			if len(fields) >= 2 {
+				l.Name = fields[1]
+			}
+		case "COUNTS":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("ligen: line %d: malformed COUNTS", line)
+			}
+			var err error
+			if nAtoms, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("ligen: line %d: %w", line, err)
+			}
+			if nBonds, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("ligen: line %d: %w", line, err)
+			}
+			if nRots, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("ligen: line %d: %w", line, err)
+			}
+			if nFrags, err = strconv.Atoi(fields[4]); err != nil {
+				return nil, fmt.Errorf("ligen: line %d: %w", line, err)
+			}
+		case "ATOM":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("ligen: line %d: malformed ATOM", line)
+			}
+			vals, err := parseFloats(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("ligen: line %d: %w", line, err)
+			}
+			l.Atoms = append(l.Atoms, Atom{
+				Pos:    Vec3{vals[0], vals[1], vals[2]},
+				Charge: vals[3],
+				Radius: vals[4],
+			})
+		case "BOND":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("ligen: line %d: malformed BOND", line)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("ligen: line %d: bad bond indices", line)
+			}
+			l.Bonds = append(l.Bonds, [2]int{a, b})
+		case "ROT":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("ligen: line %d: malformed ROT", line)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			moving, err3 := parseInts(fields[3:])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("ligen: line %d: bad rotamer", line)
+			}
+			l.Rotamers = append(l.Rotamers, Rotamer{A: a, B: b, Moving: moving})
+		case "FRAG":
+			idx, err := parseInts(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("ligen: line %d: bad fragment", line)
+			}
+			l.Fragments = append(l.Fragments, idx)
+		default:
+			return nil, fmt.Errorf("ligen: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(l.Atoms) != nAtoms || len(l.Bonds) != nBonds ||
+		len(l.Rotamers) != nRots || len(l.Fragments) != nFrags {
+		return nil, fmt.Errorf("ligen: record counts do not match COUNTS header")
+	}
+	if err := validateLigand(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// validateLigand checks structural integrity of a deserialized ligand.
+func validateLigand(l *Ligand) error {
+	n := len(l.Atoms)
+	if n == 0 {
+		return fmt.Errorf("ligen: ligand has no atoms")
+	}
+	for _, b := range l.Bonds {
+		if b[0] < 0 || b[0] >= n || b[1] < 0 || b[1] >= n {
+			return fmt.Errorf("ligen: bond %v out of range", b)
+		}
+	}
+	for _, r := range l.Rotamers {
+		if r.A < 0 || r.A >= n || r.B < 0 || r.B >= n {
+			return fmt.Errorf("ligen: rotamer axis (%d,%d) out of range", r.A, r.B)
+		}
+		for _, m := range r.Moving {
+			if m < 0 || m >= n {
+				return fmt.Errorf("ligen: rotamer moving atom %d out of range", m)
+			}
+		}
+	}
+	for _, f := range l.Fragments {
+		for _, a := range f {
+			if a < 0 || a >= n {
+				return fmt.Errorf("ligen: fragment atom %d out of range", a)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteLibrary serializes a library as concatenated ligand records separated
+// by blank lines.
+func WriteLibrary(w io.Writer, lib *Library) error {
+	for i, l := range lib.Ligands {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := WriteLigand(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseInts(fields []string) ([]int, error) {
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package ligen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsenergy/internal/xrand"
+)
+
+func TestLigandRoundTrip(t *testing.T) {
+	orig, err := GenLigand(xrand.New(5), "round", 31, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLigand(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLigand(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q, want %q", got.Name, orig.Name)
+	}
+	if len(got.Atoms) != len(orig.Atoms) {
+		t.Fatalf("atom count %d, want %d", len(got.Atoms), len(orig.Atoms))
+	}
+	for i := range orig.Atoms {
+		a, b := orig.Atoms[i], got.Atoms[i]
+		if a.Pos.Sub(b.Pos).Norm() > 1e-6 || !almostEq(a.Charge, b.Charge, 1e-6) ||
+			!almostEq(a.Radius, b.Radius, 1e-6) {
+			t.Fatalf("atom %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(got.Bonds) != len(orig.Bonds) || len(got.Rotamers) != len(orig.Rotamers) ||
+		len(got.Fragments) != len(orig.Fragments) {
+		t.Fatal("topology counts differ after round trip")
+	}
+	for i := range orig.Rotamers {
+		a, b := orig.Rotamers[i], got.Rotamers[i]
+		if a.A != b.A || a.B != b.B || len(a.Moving) != len(b.Moving) {
+			t.Fatalf("rotamer %d differs", i)
+		}
+	}
+}
+
+func TestRoundTrippedLigandDocksIdentically(t *testing.T) {
+	pocket := testPocket(t)
+	orig, _ := GenLigand(xrand.New(6), "dockable", 20, 3)
+	var buf bytes.Buffer
+	if err := WriteLigand(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadLigand(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Dock(orig, pocket, TestParams(), xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Dock(restored, pocket, TestParams(), xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Score != r2.Score {
+		t.Errorf("scores differ after round trip: %g vs %g", r1.Score, r2.Score)
+	}
+}
+
+func TestReadLigandRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad counts":       "LIGAND x\nCOUNTS a 0 0 0\n",
+		"short counts":     "LIGAND x\nCOUNTS 1 0 0\n",
+		"bad atom":         "LIGAND x\nCOUNTS 1 0 0 0\nATOM 1 2 3\n",
+		"unknown record":   "LIGAND x\nCOUNTS 0 0 0 0\nWHAT 1\n",
+		"count mismatch":   "LIGAND x\nCOUNTS 2 0 0 0\nATOM 0 0 0 0 1\n",
+		"bond range":       "LIGAND x\nCOUNTS 1 1 0 0\nATOM 0 0 0 0 1\nBOND 0 5\n",
+		"rotamer range":    "LIGAND x\nCOUNTS 1 0 1 0\nATOM 0 0 0 0 1\nROT 0 9 0\n",
+		"fragment range":   "LIGAND x\nCOUNTS 1 0 0 1\nATOM 0 0 0 0 1\nFRAG 7\n",
+		"no atoms at all":  "LIGAND x\nCOUNTS 0 0 0 0\n",
+		"bad bond indices": "LIGAND x\nCOUNTS 1 1 0 0\nATOM 0 0 0 0 1\nBOND a b\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadLigand(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteLibrary(t *testing.T) {
+	lib, err := GenLibrary(xrand.New(7), 3, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "LIGAND "); got != 3 {
+		t.Errorf("library serialization has %d ligand records, want 3", got)
+	}
+}
+
+func TestRMSD(t *testing.T) {
+	a := []Vec3{{0, 0, 0}, {1, 0, 0}}
+	b := []Vec3{{0, 0, 0}, {1, 0, 0}}
+	if r, err := RMSD(a, b); err != nil || r != 0 {
+		t.Errorf("identical sets RMSD %g, err %v", r, err)
+	}
+	c := []Vec3{{0, 0, 2}, {1, 0, 2}}
+	if r, _ := RMSD(a, c); !almostEq(r, 2, 1e-12) {
+		t.Errorf("shifted set RMSD %g, want 2", r)
+	}
+	if _, err := RMSD(a, c[:1]); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}
+
+func TestRadiusOfGyration(t *testing.T) {
+	// Two points at ±1 on x: centroid at origin, Rg = 1.
+	coords := []Vec3{{-1, 0, 0}, {1, 0, 0}}
+	if rg := RadiusOfGyration(coords); !almostEq(rg, 1, 1e-12) {
+		t.Errorf("Rg %g, want 1", rg)
+	}
+	if rg := RadiusOfGyration(nil); rg != 0 {
+		t.Errorf("Rg of empty set %g", rg)
+	}
+}
+
+func TestBondLengthStatsDetectsStretch(t *testing.T) {
+	l, _ := GenLigand(xrand.New(8), "t", 10, 2)
+	coords := make([]Vec3, 10)
+	for i := range coords {
+		coords[i] = l.Atoms[i].Pos
+	}
+	min, max, err := BondLengthStats(l, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(min, bondLength, 1e-9) || !almostEq(max, bondLength, 1e-9) {
+		t.Errorf("pristine pose bond range [%g, %g], want all %g", min, max, bondLength)
+	}
+	coords[9] = coords[9].Add(Vec3{10, 0, 0})
+	_, max2, _ := BondLengthStats(l, coords)
+	if max2 <= max {
+		t.Error("stretched bond not detected")
+	}
+	if _, _, err := BondLengthStats(l, coords[:3]); err == nil {
+		t.Error("expected error for wrong coordinate count")
+	}
+}
+
+func TestDockedPosePreservesBondGeometry(t *testing.T) {
+	// End-to-end: the docking engine must never distort the molecule.
+	pocket := testPocket(t)
+	l, _ := GenLigand(xrand.New(10), "t", 24, 4)
+	r, err := Dock(l, pocket, TestParams(), xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max, err := BondLengthStats(l, r.BestPose.Coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(min, bondLength, 1e-6) || !almostEq(max, bondLength, 1e-6) {
+		t.Errorf("docking distorted bonds: range [%g, %g]", min, max)
+	}
+}
+
+func TestPoseDiversity(t *testing.T) {
+	a := Pose{Coords: []Vec3{{0, 0, 0}}}
+	b := Pose{Coords: []Vec3{{3, 0, 0}}}
+	d, err := PoseDiversity([]Pose{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 3, 1e-12) {
+		t.Errorf("diversity %g, want 3", d)
+	}
+	if _, err := PoseDiversity([]Pose{a}); err == nil {
+		t.Error("expected error for single pose")
+	}
+}
+
+func TestPocketRoundTrip(t *testing.T) {
+	orig := testPocket(t)
+	var buf bytes.Buffer
+	if err := WritePocket(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPocket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.Extent != orig.Extent || got.spacing != orig.spacing {
+		t.Errorf("geometry changed: %+v", got)
+	}
+	for i := range orig.Aff {
+		if got.Aff[i] != orig.Aff[i] || got.Elec[i] != orig.Elec[i] {
+			t.Fatalf("field differs at %d", i)
+		}
+	}
+	// A docking run against the restored pocket is identical.
+	l, _ := GenLigand(xrand.New(51), "t", 20, 3)
+	r1, err := Dock(l, orig, TestParams(), xrand.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Dock(l, got, TestParams(), xrand.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Score != r2.Score {
+		t.Errorf("docking differs against restored pocket: %g vs %g", r1.Score, r2.Score)
+	}
+}
+
+func TestReadPocketRejectsGarbage(t *testing.T) {
+	if _, err := ReadPocket(strings.NewReader("tiny")); err == nil {
+		t.Error("expected error for truncated pocket")
+	}
+	bad := make([]byte, 64)
+	if _, err := ReadPocket(bytes.NewReader(bad)); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	orig := testPocket(t)
+	var buf bytes.Buffer
+	if err := WritePocket(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPocket(bytes.NewReader(buf.Bytes()[:buf.Len()/3])); err == nil {
+		t.Error("expected error for truncated fields")
+	}
+}

@@ -1,0 +1,280 @@
+package ligen
+
+import (
+	"math"
+	"testing"
+
+	"dsenergy/internal/xrand"
+)
+
+func TestGenLigandStructure(t *testing.T) {
+	rng := xrand.New(42)
+	for _, tc := range []struct{ atoms, frags int }{
+		{31, 4}, {63, 8}, {74, 16}, {89, 20}, {2, 1}, {10, 10},
+	} {
+		l, err := GenLigand(rng.Split(), "t", tc.atoms, tc.frags)
+		if err != nil {
+			t.Fatalf("GenLigand(%d,%d): %v", tc.atoms, tc.frags, err)
+		}
+		if l.NumAtoms() != tc.atoms {
+			t.Errorf("atoms: got %d want %d", l.NumAtoms(), tc.atoms)
+		}
+		if l.NumFragments() != tc.frags {
+			t.Errorf("fragments(%d,%d): got %d want %d", tc.atoms, tc.frags, l.NumFragments(), tc.frags)
+		}
+		if got, want := len(l.Rotamers), tc.frags-1; got != want {
+			t.Errorf("rotamers(%d,%d): got %d want %d (fragments-1)", tc.atoms, tc.frags, got, want)
+		}
+		if got, want := len(l.Bonds), tc.atoms-1; got != want {
+			t.Errorf("bonds: got %d want %d", got, want)
+		}
+		// Fragments must partition the atom set.
+		seen := make([]bool, tc.atoms)
+		for _, frag := range l.Fragments {
+			for _, a := range frag {
+				if seen[a] {
+					t.Fatalf("atom %d in two fragments", a)
+				}
+				seen[a] = true
+			}
+		}
+		for a, s := range seen {
+			if !s {
+				t.Fatalf("atom %d in no fragment", a)
+			}
+		}
+		// Every rotamer's moving set is the downstream chain suffix.
+		for _, r := range l.Rotamers {
+			if r.B != r.A+1 {
+				t.Errorf("rotamer axis not a bond: %d-%d", r.A, r.B)
+			}
+			if len(r.Moving) == 0 || r.Moving[0] != r.B {
+				t.Errorf("rotamer moving set does not start at pivot")
+			}
+		}
+	}
+}
+
+func TestGenLigandBondLengths(t *testing.T) {
+	l, err := GenLigand(xrand.New(7), "t", 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range l.Bonds {
+		d := l.Atoms[b[0]].Pos.Sub(l.Atoms[b[1]].Pos).Norm()
+		if !almostEq(d, bondLength, 1e-9) {
+			t.Fatalf("bond %v length %g, want %g", b, d, bondLength)
+		}
+	}
+}
+
+func TestGenLigandRejectsBadInput(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := GenLigand(rng, "t", 1, 1); err == nil {
+		t.Error("expected error for 1 atom")
+	}
+	if _, err := GenLigand(rng, "t", 10, 11); err == nil {
+		t.Error("expected error for fragments > atoms")
+	}
+	if _, err := GenLigand(rng, "t", 10, 0); err == nil {
+		t.Error("expected error for 0 fragments")
+	}
+}
+
+func TestGenLigandDeterministic(t *testing.T) {
+	a, _ := GenLigand(xrand.New(99), "t", 31, 4)
+	b, _ := GenLigand(xrand.New(99), "t", 31, 4)
+	for i := range a.Atoms {
+		if a.Atoms[i] != b.Atoms[i] {
+			t.Fatalf("atom %d differs between identically seeded generations", i)
+		}
+	}
+}
+
+func TestGenLibrary(t *testing.T) {
+	lib, err := GenLibrary(xrand.New(5), 10, 31, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Ligands) != 10 {
+		t.Fatalf("library size %d, want 10", len(lib.Ligands))
+	}
+	// Distinct ligands: first atoms of different molecules should differ.
+	if lib.Ligands[0].Atoms[1].Pos == lib.Ligands[1].Atoms[1].Pos {
+		t.Error("library ligands are identical; splits not independent")
+	}
+	if _, err := GenLibrary(xrand.New(5), 0, 31, 4); err == nil {
+		t.Error("expected error for empty library")
+	}
+}
+
+func TestRotatePointIsometry(t *testing.T) {
+	// Rotation about an axis preserves distance to any anchor point on the
+	// axis and maps the axis to itself.
+	rng := xrand.New(11)
+	for n := 0; n < 500; n++ {
+		a := Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		u := Vec3{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}.Normalize()
+		p := Vec3{3 * rng.Float64(), 3 * rng.Float64(), 3 * rng.Float64()}
+		theta := 2 * math.Pi * rng.Float64()
+		q := rotatePoint(p, a, u, theta)
+		if !almostEq(q.Sub(a).Norm(), p.Sub(a).Norm(), 1e-9) {
+			t.Fatalf("rotation changed distance to anchor: %g vs %g",
+				q.Sub(a).Norm(), p.Sub(a).Norm())
+		}
+		// The axial component is invariant.
+		if !almostEq(q.Sub(a).Dot(u), p.Sub(a).Dot(u), 1e-9) {
+			t.Fatalf("rotation changed axial component")
+		}
+	}
+}
+
+func TestRotatePointFullTurn(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	u := Vec3{0, 0, 1}
+	p := Vec3{4, 5, 6}
+	q := rotatePoint(p, a, u, 2*math.Pi)
+	for i := 0; i < 3; i++ {
+		if !almostEq(q[i], p[i], 1e-9) {
+			t.Fatalf("full turn moved the point: %v -> %v", p, q)
+		}
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Error("Add")
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Error("Sub")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("Dot")
+	}
+	if a.Cross(b) != (Vec3{-3, 6, -3}) {
+		t.Error("Cross")
+	}
+	if !almostEq(Vec3{3, 4, 0}.Norm(), 5, 1e-12) {
+		t.Error("Norm")
+	}
+	if n := (Vec3{0, 0, 0}).Normalize(); n != (Vec3{0, 0, 0}) {
+		t.Error("Normalize of zero vector should be zero")
+	}
+}
+
+func almostEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestGenLigandBranchedStructure(t *testing.T) {
+	l, err := GenLigandBranched(xrand.New(31), "b", 40, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumAtoms() != 40 {
+		t.Fatalf("atoms %d, want 40", l.NumAtoms())
+	}
+	if l.NumFragments() != 5 {
+		t.Fatalf("fragments %d, want 5", l.NumFragments())
+	}
+	if len(l.Bonds) != 39 {
+		t.Fatalf("bonds %d, want 39 (tree)", len(l.Bonds))
+	}
+	// Fragments still partition the atom set.
+	seen := make([]bool, 40)
+	for _, frag := range l.Fragments {
+		for _, a := range frag {
+			if seen[a] {
+				t.Fatalf("atom %d in two fragments", a)
+			}
+			seen[a] = true
+		}
+	}
+	for a, s := range seen {
+		if !s {
+			t.Fatalf("atom %d in no fragment", a)
+		}
+	}
+	// Branch atoms must exist (degree-3 backbone atoms).
+	deg := make([]int, 40)
+	for _, b := range l.Bonds {
+		deg[b[0]]++
+		deg[b[1]]++
+	}
+	has3 := false
+	for _, d := range deg {
+		if d >= 3 {
+			has3 = true
+		}
+	}
+	if !has3 {
+		t.Error("branched ligand has no branch points")
+	}
+}
+
+func TestGenLigandBranchedRotamerClosure(t *testing.T) {
+	// Every rotamer's moving set must be closed under bonds except across
+	// its own axis: a moving atom's bonded neighbours are either moving or
+	// the axis atom A. This is what makes rotation a rigid motion.
+	l, err := GenLigandBranched(xrand.New(32), "b", 30, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := map[int][]int{}
+	for _, b := range l.Bonds {
+		adj[b[0]] = append(adj[b[0]], b[1])
+		adj[b[1]] = append(adj[b[1]], b[0])
+	}
+	for ri, r := range l.Rotamers {
+		moving := map[int]bool{}
+		for _, m := range r.Moving {
+			moving[m] = true
+		}
+		for _, m := range r.Moving {
+			for _, nb := range adj[m] {
+				if !moving[nb] && nb != r.A {
+					t.Fatalf("rotamer %d: moving atom %d bonded to static atom %d (not the axis)",
+						ri, m, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestGenLigandBranchedDocks(t *testing.T) {
+	p, err := GenPocket(xrand.New(33), 20, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := GenLigandBranched(xrand.New(34), "b", 25, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Dock(l, p, TestParams(), xrand.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Docking must preserve the branched topology's bond lengths too.
+	min, max, err := BondLengthStats(l, r.BestPose.Coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(min, bondLength, 1e-6) || !almostEq(max, bondLength, 1e-6) {
+		t.Errorf("branched docking distorted bonds: [%g, %g]", min, max)
+	}
+}
+
+func TestGenLigandBranchedValidation(t *testing.T) {
+	if _, err := GenLigandBranched(xrand.New(1), "b", 10, 2, 1.5); err == nil {
+		t.Error("expected error for branchFrac >= 1")
+	}
+	if _, err := GenLigandBranched(xrand.New(1), "b", 4, 4, 0.5); err == nil {
+		t.Error("expected error when backbone shorter than fragments")
+	}
+}

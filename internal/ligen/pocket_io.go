@@ -1,0 +1,80 @@
+package ligen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Pocket serialization: receptor grids are computed once per target protein
+// and shared across screening campaigns (as docking pipelines ship AutoGrid
+// maps). The format is a little-endian header followed by the affinity and
+// electrostatic fields.
+
+const (
+	pocketMagic   = 0x504f434b45543031 // "POCKET01"
+	pocketVersion = 1
+)
+
+type pocketHeader struct {
+	Magic   uint64
+	Version uint32
+	N       uint32
+	Extent  float64
+	Center  [3]float64
+}
+
+// WritePocket serializes the pocket fields.
+func WritePocket(w io.Writer, p *Pocket) error {
+	h := pocketHeader{
+		Magic: pocketMagic, Version: pocketVersion,
+		N: uint32(p.N), Extent: p.Extent, Center: [3]float64(p.Center),
+	}
+	if err := binary.Write(w, binary.LittleEndian, &h); err != nil {
+		return fmt.Errorf("ligen: writing pocket header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, p.Aff); err != nil {
+		return fmt.Errorf("ligen: writing affinity field: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, p.Elec); err != nil {
+		return fmt.Errorf("ligen: writing electrostatic field: %w", err)
+	}
+	return nil
+}
+
+// ReadPocket reconstructs a pocket written by WritePocket.
+func ReadPocket(r io.Reader) (*Pocket, error) {
+	var h pocketHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("ligen: reading pocket header: %w", err)
+	}
+	if h.Magic != pocketMagic {
+		return nil, fmt.Errorf("ligen: not a pocket file (bad magic %#x)", h.Magic)
+	}
+	if h.Version != pocketVersion {
+		return nil, fmt.Errorf("ligen: unsupported pocket version %d", h.Version)
+	}
+	if h.N < 4 || h.N > 4096 || h.Extent <= 0 || math.IsNaN(h.Extent) {
+		return nil, fmt.Errorf("ligen: implausible pocket geometry (n=%d extent=%g)", h.N, h.Extent)
+	}
+	n := int(h.N)
+	p := &Pocket{
+		N: n, Extent: h.Extent, Center: Vec3(h.Center),
+		Aff:     make([]float64, n*n*n),
+		Elec:    make([]float64, n*n*n),
+		spacing: 2 * h.Extent / float64(n-1),
+	}
+	if err := binary.Read(r, binary.LittleEndian, p.Aff); err != nil {
+		return nil, fmt.Errorf("ligen: reading affinity field: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, p.Elec); err != nil {
+		return nil, fmt.Errorf("ligen: reading electrostatic field: %w", err)
+	}
+	for _, v := range p.Aff {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ligen: pocket affinity field contains non-finite values")
+		}
+	}
+	return p, nil
+}

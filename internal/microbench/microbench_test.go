@@ -1,0 +1,119 @@
+package microbench
+
+import (
+	"testing"
+
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/kernels"
+)
+
+func TestSuiteSize(t *testing.T) {
+	if got := len(Suite()); got != Count {
+		t.Fatalf("suite size %d, want %d (Fan et al.'s 106)", got, Count)
+	}
+}
+
+func TestSuiteProfilesValid(t *testing.T) {
+	for _, b := range Suite() {
+		if err := b.Profile.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Suite() {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Profile.Mix != b[i].Profile.Mix {
+			t.Fatalf("suite not deterministic at %d", i)
+		}
+	}
+}
+
+func TestLocalityPairsShareStaticFeatures(t *testing.T) {
+	// Consecutive levels within a family form (streaming, cached) pairs
+	// with identical static features but different locality — the
+	// ambiguity that bounds static-feature models.
+	s := Suite()
+	pairs := 0
+	for i := 0; i+1 < 100; i += 2 {
+		a, b := s[i].Profile, s[i+1].Profile
+		fa, fb := a.Mix.StaticFeatures(), b.Mix.StaticFeatures()
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("pair (%s, %s) static features differ", s[i].Name, s[i+1].Name)
+			}
+		}
+		if a.CacheReuse == b.CacheReuse && a.WorkingSetBytes == b.WorkingSetBytes {
+			t.Fatalf("pair (%s, %s) locality identical", s[i].Name, s[i+1].Name)
+		}
+		pairs++
+	}
+	if pairs != 50 {
+		t.Errorf("checked %d pairs, want 50", pairs)
+	}
+}
+
+func TestLocalityPairsBehaveDifferently(t *testing.T) {
+	// On a real device the two variants of a pair must produce different
+	// time/energy: that is the whole point of the construction.
+	d := gpusim.MustNew(gpusim.V100Spec(), 1)
+	s := Suite()
+	differ := 0
+	for i := 0; i+1 < 100; i += 2 {
+		ta := d.Analytic(s[i].Profile, 1297).TimeS
+		tb := d.Analytic(s[i+1].Profile, 1297).TimeS
+		if ta != tb {
+			differ++
+		}
+	}
+	if differ < 40 {
+		t.Errorf("only %d/50 locality pairs behave differently", differ)
+	}
+}
+
+func TestSuiteCoversFeatureSpace(t *testing.T) {
+	// Every Table 1 feature class must dominate (be the largest fraction
+	// in) at least one benchmark.
+	dominated := make([]bool, len(kernels.FeatureNames))
+	for _, b := range Suite() {
+		f := b.Profile.Mix.StaticFeatures()
+		best, bi := 0.0, 0
+		for j, v := range f {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		dominated[bi] = true
+	}
+	for j, ok := range dominated {
+		if !ok {
+			t.Errorf("no benchmark dominated by feature %s", kernels.FeatureNames[j])
+		}
+	}
+}
+
+func TestSuiteSpansMemoryRegimes(t *testing.T) {
+	var streaming, cached int
+	for _, b := range Suite() {
+		if b.Profile.CacheReuse == 0 {
+			streaming++
+		}
+		if b.Profile.CacheReuse > 0.8 {
+			cached++
+		}
+	}
+	if streaming < 20 || cached < 20 {
+		t.Errorf("regime coverage: %d streaming, %d cached", streaming, cached)
+	}
+}

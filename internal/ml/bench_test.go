@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"dsenergy/internal/xrand"
+)
+
+func benchData(n int) ([][]float64, []float64) {
+	rng := xrand.New(42)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b, c, f := rng.Float64()*10, rng.Float64()*10, rng.Float64()*10, rng.Float64()*1600
+		X[i] = []float64{a, b, c, f}
+		y[i] = math.Sin(a) + 0.3*b - 0.1*c + f/1600 + 0.02*rng.Norm()
+	}
+	return X, y
+}
+
+func BenchmarkLinearFit(b *testing.B) {
+	X, y := benchData(2000)
+	for i := 0; i < b.N; i++ {
+		m := NewLinear()
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLassoFit(b *testing.B) {
+	X, y := benchData(2000)
+	for i := 0; i < b.N; i++ {
+		m := NewLasso(0.01)
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVRFit(b *testing.B) {
+	X, y := benchData(300) // kernel methods are quadratic; keep modest
+	for i := 0; i < b.N; i++ {
+		m := NewSVR(10, 0.01, 0)
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := benchData(2000)
+	for i := 0; i < b.N; i++ {
+		m := NewForest(ForestConfig{NumTrees: 25, Seed: 1})
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := benchData(2000)
+	m := NewForest(ForestConfig{NumTrees: 50, Seed: 1})
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{5, 5, 5, 1300}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(probe)
+	}
+}

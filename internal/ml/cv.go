@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"dsenergy/internal/xrand"
+)
+
+// KFoldMAPE estimates generalization MAPE with shuffled k-fold
+// cross-validation: the spec is re-fit on each training fold and evaluated
+// on the held-out fold; the mean MAPE across folds is returned.
+func KFoldMAPE(spec Spec, X [][]float64, y []float64, k int, seed uint64) (float64, error) {
+	n, _, err := checkXY(X, y)
+	if err != nil {
+		return 0, err
+	}
+	if k < 2 || k > n {
+		return 0, fmt.Errorf("ml: k-fold needs 2 <= k <= n, got k=%d n=%d", k, n)
+	}
+	perm := xrand.New(seed).Perm(n)
+	var total float64
+	for fold := 0; fold < k; fold++ {
+		lo, hi := fold*n/k, (fold+1)*n/k
+		test := perm[lo:hi]
+		inTest := make(map[int]bool, len(test))
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var trX [][]float64
+		var trY []float64
+		for i := 0; i < n; i++ {
+			if !inTest[i] {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		model, err := spec.New(seed + uint64(fold))
+		if err != nil {
+			return 0, err
+		}
+		if err := model.Fit(trX, trY); err != nil {
+			return 0, err
+		}
+		var yt, yp []float64
+		for _, i := range test {
+			yt = append(yt, y[i])
+			yp = append(yp, model.Predict(X[i]))
+		}
+		total += MAPE(yt, yp)
+	}
+	return total / float64(k), nil
+}
+
+// GroupSplit partitions a dataset by a group label — the paper's
+// leave-one-input-out protocol, where every sample sharing the input feature
+// vector forms a group and the whole group is held out together.
+type GroupSplit struct {
+	TrainIdx []int
+	TestIdx  []int
+	Group    string
+}
+
+// LeaveOneGroupOut returns one split per distinct group label, in sorted
+// group order.
+func LeaveOneGroupOut(groups []string) []GroupSplit {
+	uniq := map[string][]int{}
+	for i, g := range groups {
+		uniq[g] = append(uniq[g], i)
+	}
+	names := make([]string, 0, len(uniq))
+	for g := range uniq {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+
+	splits := make([]GroupSplit, 0, len(names))
+	for _, g := range names {
+		s := GroupSplit{Group: g, TestIdx: uniq[g]}
+		for i, gi := range groups {
+			if gi != g {
+				s.TrainIdx = append(s.TrainIdx, i)
+			}
+		}
+		splits = append(splits, s)
+	}
+	return splits
+}
+
+// GridPoint is one hyper-parameter assignment evaluated by GridSearch.
+type GridPoint struct {
+	Params map[string]float64
+	MAPE   float64
+}
+
+// GridSearch exhaustively evaluates the Cartesian product of the parameter
+// grid with k-fold CV and returns every point (best first). This reproduces
+// the paper's random-forest tuning over max_depth, n_estimators and
+// max_features.
+func GridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64, k int, seed uint64) ([]GridPoint, error) {
+	names := make([]string, 0, len(grid))
+	for name := range grid {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var points []GridPoint
+	var rec func(i int, cur map[string]float64) error
+	rec = func(i int, cur map[string]float64) error {
+		if i == len(names) {
+			spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}}
+			for k, v := range base.Params {
+				spec.Params[k] = v
+			}
+			for k, v := range cur {
+				spec.Params[k] = v
+			}
+			m, err := KFoldMAPE(spec, X, y, k, seed)
+			if err != nil {
+				return err
+			}
+			pt := GridPoint{Params: map[string]float64{}, MAPE: m}
+			for k, v := range cur {
+				pt.Params[k] = v
+			}
+			points = append(points, pt)
+			return nil
+		}
+		for _, v := range grid[names[i]] {
+			cur[names[i]] = v
+			if err := rec(i+1, cur); err != nil {
+				return err
+			}
+		}
+		delete(cur, names[i])
+		return nil
+	}
+	if err := rec(0, map[string]float64{}); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(points, func(a, b int) bool { return points[a].MAPE < points[b].MAPE })
+	return points, nil
+}

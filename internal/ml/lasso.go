@@ -1,0 +1,141 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lasso is L1-regularized linear regression trained by cyclic coordinate
+// descent on standardized features (the scikit-learn formulation:
+// minimize ‖y − Xw − b‖² / (2n) + α‖w‖₁).
+type Lasso struct {
+	// Alpha is the L1 penalty weight.
+	Alpha float64
+	// MaxIter bounds the coordinate-descent sweeps.
+	MaxIter int
+	// Tol is the convergence threshold on the max coefficient change.
+	Tol float64
+
+	Coef      []float64
+	Intercept float64
+
+	mean, scale []float64
+}
+
+// NewLasso returns a Lasso model with penalty alpha and scikit-learn-like
+// defaults (1000 sweeps, 1e-6 tolerance).
+func NewLasso(alpha float64) *Lasso {
+	return &Lasso{Alpha: alpha, MaxIter: 1000, Tol: 1e-6}
+}
+
+// Fit implements Regressor.
+func (l *Lasso) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if l.Alpha < 0 {
+		return fmt.Errorf("ml: lasso alpha must be non-negative, got %g", l.Alpha)
+	}
+
+	// Standardize features; center the target.
+	l.mean = make([]float64, d)
+	l.scale = make([]float64, d)
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		var m float64
+		for i := 0; i < n; i++ {
+			m += X[i][j]
+		}
+		m /= float64(n)
+		var v float64
+		for i := 0; i < n; i++ {
+			dv := X[i][j] - m
+			v += dv * dv
+		}
+		s := math.Sqrt(v / float64(n))
+		if s == 0 {
+			s = 1
+		}
+		l.mean[j], l.scale[j] = m, s
+		for i := 0; i < n; i++ {
+			xs[i][j] = (X[i][j] - m) / s
+		}
+	}
+	var ymean float64
+	for _, v := range y {
+		ymean += v
+	}
+	ymean /= float64(n)
+
+	// Residual r = y - Xw (w starts at zero).
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = y[i] - ymean
+	}
+	w := make([]float64, d)
+
+	// Column norms: with standardized features Σx² = n.
+	colSq := float64(n)
+	thresh := l.Alpha * float64(n)
+
+	for it := 0; it < l.MaxIter; it++ {
+		var maxDelta float64
+		for j := 0; j < d; j++ {
+			// rho = x_jᵀ r + w_j Σx²  (the partial residual correlation).
+			var rho float64
+			for i := 0; i < n; i++ {
+				rho += xs[i][j] * r[i]
+			}
+			rho += w[j] * colSq
+			newW := softThreshold(rho, thresh) / colSq
+			if delta := newW - w[j]; delta != 0 {
+				for i := 0; i < n; i++ {
+					r[i] -= delta * xs[i][j]
+				}
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+				w[j] = newW
+			}
+		}
+		if maxDelta < l.Tol {
+			break
+		}
+	}
+
+	// Translate back to the original feature scale.
+	l.Coef = make([]float64, d)
+	l.Intercept = ymean
+	for j := 0; j < d; j++ {
+		l.Coef[j] = w[j] / l.scale[j]
+		l.Intercept -= l.Coef[j] * l.mean[j]
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *Lasso) Predict(x []float64) float64 {
+	s := l.Intercept
+	for j, c := range l.Coef {
+		if j < len(x) {
+			s += c * x[j]
+		}
+	}
+	return s
+}
+
+// softThreshold is the proximal operator of the L1 norm.
+func softThreshold(z, t float64) float64 {
+	switch {
+	case z > t:
+		return z - t
+	case z < -t:
+		return z + t
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear is ordinary least squares with an intercept, solved by Householder
+// QR factorization of the design matrix — numerically stable without forming
+// the normal equations.
+type Linear struct {
+	// Coef holds the fitted weights; Intercept the bias term.
+	Coef      []float64
+	Intercept float64
+}
+
+// NewLinear returns an untrained OLS model.
+func NewLinear() *Linear { return &Linear{} }
+
+// Fit implements Regressor.
+func (l *Linear) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	// Design matrix with a leading 1s column for the intercept.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+		a[i][0] = 1
+		copy(a[i][1:], X[i])
+	}
+	b := append([]float64(nil), y...)
+	w, err := qrSolve(a, b)
+	if err != nil {
+		return fmt.Errorf("ml: linear fit: %w", err)
+	}
+	l.Intercept = w[0]
+	l.Coef = w[1:]
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *Linear) Predict(x []float64) float64 {
+	s := l.Intercept
+	for j, c := range l.Coef {
+		if j < len(x) {
+			s += c * x[j]
+		}
+	}
+	return s
+}
+
+// qrSolve solves the least-squares problem min ‖a·w − b‖₂ with Householder
+// QR in the classic JAMA formulation: the reflectors overwrite a's lower
+// trapezoid and are applied to b on the fly; R's diagonal is kept separately.
+// a and b are destroyed. A rank-deficient column yields a zero weight for
+// that column.
+func qrSolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("empty system")
+	}
+	d := len(a[0])
+	if n < d {
+		return nil, fmt.Errorf("underdetermined system: %d rows, %d cols", n, d)
+	}
+
+	// Original column norms set the rank tolerance: a pivot that collapses
+	// to a tiny fraction of its column's original size is numerically
+	// dependent on earlier columns (e.g. exactly collinear features), and
+	// dividing by it would manufacture enormous cancelling coefficients.
+	colNorm := make([]float64, d)
+	for k := 0; k < d; k++ {
+		var nrm float64
+		for i := 0; i < n; i++ {
+			nrm = math.Hypot(nrm, a[i][k])
+		}
+		colNorm[k] = nrm
+	}
+
+	rdiag := make([]float64, d)
+	for k := 0; k < d; k++ {
+		var nrm float64
+		for i := k; i < n; i++ {
+			nrm = math.Hypot(nrm, a[i][k])
+		}
+		if nrm <= 1e-10*colNorm[k] {
+			rdiag[k] = 0
+			// Zero the dependent column so it cannot perturb later
+			// reflectors through round-off.
+			for i := k; i < n; i++ {
+				a[i][k] = 0
+			}
+			continue
+		}
+		if a[k][k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < n; i++ {
+			a[i][k] /= nrm
+		}
+		a[k][k] += 1
+		// Apply the reflector to the remaining columns and to b.
+		for j := k + 1; j < d; j++ {
+			var s float64
+			for i := k; i < n; i++ {
+				s += a[i][k] * a[i][j]
+			}
+			s = -s / a[k][k]
+			for i := k; i < n; i++ {
+				a[i][j] += s * a[i][k]
+			}
+		}
+		var s float64
+		for i := k; i < n; i++ {
+			s += a[i][k] * b[i]
+		}
+		s = -s / a[k][k]
+		for i := k; i < n; i++ {
+			b[i] += s * a[i][k]
+		}
+		rdiag[k] = -nrm
+	}
+
+	// Back substitution on R w = Qᵀb.
+	w := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		if rdiag[i] == 0 {
+			w[i] = 0
+			continue
+		}
+		s := b[i]
+		for j := i + 1; j < d; j++ {
+			s -= a[i][j] * w[j]
+		}
+		w[i] = s / rdiag[i]
+	}
+	return w, nil
+}

@@ -1,0 +1,86 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAPE returns the mean absolute percentage error, the accuracy metric of
+// the paper's Figure 13 (expressed as a fraction, not percent). Targets
+// equal to zero are skipped, as scikit-learn effectively does by clamping.
+func MAPE(yTrue, yPred []float64) float64 {
+	var sum float64
+	var n int
+	for i := range yTrue {
+		if yTrue[i] == 0 {
+			continue
+		}
+		sum += math.Abs((yTrue[i] - yPred[i]) / yTrue[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MAE returns the mean absolute error.
+func MAE(yTrue, yPred []float64) float64 {
+	var sum float64
+	for i := range yTrue {
+		sum += math.Abs(yTrue[i] - yPred[i])
+	}
+	return sum / float64(len(yTrue))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(yTrue, yPred []float64) float64 {
+	var sum float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(yTrue)))
+}
+
+// R2 returns the coefficient of determination.
+func R2(yTrue, yPred []float64) float64 {
+	var mean float64
+	for _, v := range yTrue {
+		mean += v
+	}
+	mean /= float64(len(yTrue))
+	var ssRes, ssTot float64
+	for i := range yTrue {
+		r := yTrue[i] - yPred[i]
+		t := yTrue[i] - mean
+		ssRes += r * r
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Scores bundles the four metrics for one evaluation.
+type Scores struct {
+	MAPE, MAE, RMSE, R2 float64
+}
+
+// Evaluate computes all metrics of predictions against truth.
+func Evaluate(yTrue, yPred []float64) (Scores, error) {
+	if len(yTrue) != len(yPred) || len(yTrue) == 0 {
+		return Scores{}, fmt.Errorf("ml: evaluate needs equal non-empty slices (%d vs %d)",
+			len(yTrue), len(yPred))
+	}
+	return Scores{
+		MAPE: MAPE(yTrue, yPred),
+		MAE:  MAE(yTrue, yPred),
+		RMSE: RMSE(yTrue, yPred),
+		R2:   R2(yTrue, yPred),
+	}, nil
+}

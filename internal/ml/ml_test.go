@@ -1,0 +1,560 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dsenergy/internal/xrand"
+)
+
+// synthLinear builds y = 3 + 2x0 - x1 + noise.
+func synthLinear(rng *xrand.Rand, n int, noise float64) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := 10*rng.Float64(), 10*rng.Float64()
+		X[i] = []float64{x0, x1}
+		y[i] = 3 + 2*x0 - x1 + noise*rng.Norm()
+	}
+	return X, y
+}
+
+func TestLinearRecoversExactCoefficients(t *testing.T) {
+	X, y := synthLinear(xrand.New(1), 200, 0)
+	m := NewLinear()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 1e-8 {
+		t.Errorf("intercept %g, want 3", m.Intercept)
+	}
+	if math.Abs(m.Coef[0]-2) > 1e-8 || math.Abs(m.Coef[1]+1) > 1e-8 {
+		t.Errorf("coefficients %v, want [2 -1]", m.Coef)
+	}
+}
+
+func TestLinearHandlesNoisyData(t *testing.T) {
+	X, y := synthLinear(xrand.New(2), 500, 0.1)
+	m := NewLinear()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-2) > 0.05 {
+		t.Errorf("noisy coefficient %g, want ~2", m.Coef[0])
+	}
+}
+
+func TestLinearConstantColumn(t *testing.T) {
+	// A constant feature column is rank-deficient against the intercept;
+	// the solver must not blow up.
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	y := []float64{2, 4, 6, 8}
+	m := NewLinear()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if p := m.Predict(x); math.Abs(p-y[i]) > 1e-6 {
+			t.Errorf("prediction %d: %g, want %g", i, p, y[i])
+		}
+	}
+}
+
+func TestLinearRejectsBadShapes(t *testing.T) {
+	m := NewLinear()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for row/target mismatch")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system (1 row, 2 unknowns)")
+	}
+}
+
+func TestQuickLinearInterpolatesTwoFeaturePlanes(t *testing.T) {
+	// Property: for any plane y = a + b·x0 + c·x1 sampled without noise,
+	// OLS reproduces the plane at unseen points.
+	f := func(a, b, c int8) bool {
+		av, bv, cv := float64(a), float64(b), float64(c)
+		rng := xrand.New(uint64(int(a)+300) * 7919)
+		X := make([][]float64, 40)
+		y := make([]float64, 40)
+		for i := range X {
+			x0, x1 := rng.Float64()*4, rng.Float64()*4
+			X[i] = []float64{x0, x1}
+			y[i] = av + bv*x0 + cv*x1
+		}
+		m := NewLinear()
+		if err := m.Fit(X, y); err != nil {
+			return false
+		}
+		probe := []float64{1.234, 2.345}
+		want := av + bv*probe[0] + cv*probe[1]
+		return math.Abs(m.Predict(probe)-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLassoShrinksIrrelevantFeature(t *testing.T) {
+	// y depends only on x0; the noise feature's coefficient must be driven
+	// to exactly zero by the L1 penalty.
+	rng := xrand.New(3)
+	X := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range X {
+		x0, junk := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{x0, junk}
+		y[i] = 5 * x0
+	}
+	m := NewLasso(0.5)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[1] != 0 {
+		t.Errorf("irrelevant coefficient %g, want exactly 0", m.Coef[1])
+	}
+	if math.Abs(m.Coef[0]-5) > 0.5 {
+		t.Errorf("relevant coefficient %g, want ~5", m.Coef[0])
+	}
+}
+
+func TestLassoZeroAlphaMatchesOLS(t *testing.T) {
+	X, y := synthLinear(xrand.New(4), 300, 0)
+	ols := NewLinear()
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lasso := NewLasso(0)
+	if err := lasso.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for j := range ols.Coef {
+		if math.Abs(ols.Coef[j]-lasso.Coef[j]) > 1e-4 {
+			t.Errorf("coef %d: ols %g vs lasso(0) %g", j, ols.Coef[j], lasso.Coef[j])
+		}
+	}
+}
+
+func TestLassoRejectsNegativeAlpha(t *testing.T) {
+	m := NewLasso(-1)
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for negative alpha")
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ z, t, want float64 }{
+		{5, 2, 3}, {-5, 2, -3}, {1, 2, 0}, {-1, 2, 0}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.z, c.t); got != c.want {
+			t.Errorf("softThreshold(%g,%g) = %g, want %g", c.z, c.t, got, c.want)
+		}
+	}
+}
+
+func TestSVRFitsSmoothFunction(t *testing.T) {
+	rng := xrand.New(5)
+	X := make([][]float64, 150)
+	y := make([]float64, 150)
+	for i := range X {
+		x := 4 * rng.Float64()
+		X[i] = []float64{x}
+		y[i] = math.Sin(x)
+	}
+	m := NewSVR(10, 0.01, 0)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for x := 0.2; x < 3.8; x += 0.2 {
+		err := math.Abs(m.Predict([]float64{x}) - math.Sin(x))
+		if err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.1 {
+		t.Errorf("SVR worst-case error %g on sin(x), want < 0.1", worst)
+	}
+	if sv := m.NumSupportVectors(); sv == 0 || sv > 150 {
+		t.Errorf("implausible support-vector count %d", sv)
+	}
+}
+
+func TestSVRRespectsBoxConstraint(t *testing.T) {
+	rng := xrand.New(6)
+	X := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		y[i] = 100 * rng.Float64() // wild targets force clipping
+	}
+	m := NewSVR(0.5, 0.01, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range m.beta {
+		if math.Abs(b) > 0.5+1e-12 {
+			t.Fatalf("beta[%d] = %g violates |beta| <= C = 0.5", i, b)
+		}
+	}
+}
+
+func TestSVRParameterValidation(t *testing.T) {
+	if err := NewSVR(0, 0.1, 1).Fit([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for C=0")
+	}
+	if err := NewSVR(1, -0.1, 1).Fit([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for negative epsilon")
+	}
+}
+
+func TestTreeFitsPiecewiseConstant(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []float64{5, 5, 5, -3, -3, -3}
+	m := NewTree(0, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2}); p != 5 {
+		t.Errorf("left region prediction %g, want 5", p)
+	}
+	if p := m.Predict([]float64{11}); p != -3 {
+		t.Errorf("right region prediction %g, want -3", p)
+	}
+	if m.Leaves() != 2 {
+		t.Errorf("tree grew %d leaves for a 2-region target, want 2", m.Leaves())
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	rng := xrand.New(7)
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		y[i] = rng.Float64()
+	}
+	m := NewTree(3, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Depth(); d > 3 {
+		t.Errorf("tree depth %d exceeds MaxDepth 3", d)
+	}
+}
+
+func TestTreeRespectsMinLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	m := NewTree(0, 2)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves() > 2 {
+		t.Errorf("MinLeaf=2 on 4 samples allows at most 2 leaves, got %d", m.Leaves())
+	}
+}
+
+func TestTreePredictionWithinTargetRange(t *testing.T) {
+	// Mean-value leaves can never extrapolate outside [min(y), max(y)].
+	f := func(seed uint16) bool {
+		rng := xrand.New(uint64(seed) + 1)
+		n := 30 + rng.Intn(50)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+			y[i] = rng.Norm() * 5
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		m := NewTree(0, 1)
+		if err := m.Fit(X, y); err != nil {
+			return false
+		}
+		for probe := 0; probe < 20; probe++ {
+			p := m.Predict([]float64{rng.Float64() * 20, rng.Float64() * 20})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForestBeatsMeanBaseline(t *testing.T) {
+	rng := xrand.New(8)
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64()*4, rng.Float64()*4
+		X[i] = []float64{a, b}
+		y[i] = math.Sin(a)*math.Cos(b) + 0.05*rng.Norm()
+	}
+	m := NewForest(ForestConfig{NumTrees: 50, Seed: 1})
+	if err := m.Fit(X[:300], y[:300]); err != nil {
+		t.Fatal(err)
+	}
+	var meanY float64
+	for _, v := range y[:300] {
+		meanY += v
+	}
+	meanY /= 300
+
+	var errModel, errBase float64
+	for i := 300; i < n; i++ {
+		errModel += math.Abs(m.Predict(X[i]) - y[i])
+		errBase += math.Abs(meanY - y[i])
+	}
+	if errModel >= errBase*0.5 {
+		t.Errorf("forest MAE %g not well below mean-baseline MAE %g", errModel/100, errBase/100)
+	}
+}
+
+func TestForestDeterministicAcrossWorkers(t *testing.T) {
+	X, y := synthLinear(xrand.New(9), 120, 0.2)
+	fit := func(workers int) *Forest {
+		m := NewForest(ForestConfig{NumTrees: 16, Seed: 42, Workers: workers})
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := fit(1), fit(8)
+	probe := []float64{3.3, 4.4}
+	if pa, pb := a.Predict(probe), b.Predict(probe); pa != pb {
+		t.Errorf("forest prediction differs across worker counts: %g vs %g", pa, pb)
+	}
+}
+
+func TestForestMaxFeaturesSubsampling(t *testing.T) {
+	X, y := synthLinear(xrand.New(10), 100, 0.1)
+	m := NewForest(ForestConfig{NumTrees: 10, MaxFeatures: 1, Seed: 3})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 10 {
+		t.Errorf("trained %d trees, want 10", m.NumTrees())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	yt := []float64{1, 2, 4}
+	yp := []float64{1, 1, 5}
+	if got := MAE(yt, yp); !almostEqf(got, 2.0/3.0, 1e-12) {
+		t.Errorf("MAE %g", got)
+	}
+	if got := RMSE(yt, yp); !almostEqf(got, math.Sqrt(2.0/3.0), 1e-12) {
+		t.Errorf("RMSE %g", got)
+	}
+	wantMAPE := (0 + 0.5 + 0.25) / 3
+	if got := MAPE(yt, yp); !almostEqf(got, wantMAPE, 1e-12) {
+		t.Errorf("MAPE %g want %g", got, wantMAPE)
+	}
+	if got := R2(yt, yt); got != 1 {
+		t.Errorf("R2 of perfect prediction %g, want 1", got)
+	}
+	if got := R2(yt, []float64{7, 7, 7}); got >= 0.5 {
+		t.Errorf("R2 of constant wrong prediction %g, want low", got)
+	}
+}
+
+func TestMAPESkipsZeroTargets(t *testing.T) {
+	if got := MAPE([]float64{0, 2}, []float64{5, 3}); !almostEqf(got, 0.5, 1e-12) {
+		t.Errorf("MAPE with zero target %g, want 0.5", got)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}
+
+func TestKFoldMAPE(t *testing.T) {
+	X, y := synthLinear(xrand.New(11), 200, 0.05)
+	m, err := KFoldMAPE(Spec{Algorithm: "linear"}, X, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 0 || m > 0.2 {
+		t.Errorf("k-fold MAPE %g out of plausible range for a near-linear target", m)
+	}
+	if _, err := KFoldMAPE(Spec{Algorithm: "linear"}, X, y, 1, 1); err == nil {
+		t.Error("expected error for k=1")
+	}
+}
+
+func TestLeaveOneGroupOut(t *testing.T) {
+	groups := []string{"a", "b", "a", "c", "b"}
+	splits := LeaveOneGroupOut(groups)
+	if len(splits) != 3 {
+		t.Fatalf("want 3 splits, got %d", len(splits))
+	}
+	// Splits are sorted; group "a" holds out rows 0 and 2.
+	if splits[0].Group != "a" || len(splits[0].TestIdx) != 2 {
+		t.Errorf("split 0 = %+v, want group a with 2 test rows", splits[0])
+	}
+	for _, s := range splits {
+		if len(s.TrainIdx)+len(s.TestIdx) != len(groups) {
+			t.Errorf("split %s does not partition the dataset", s.Group)
+		}
+	}
+}
+
+func TestGridSearchFindsBetterDepth(t *testing.T) {
+	rng := xrand.New(12)
+	X := make([][]float64, 150)
+	y := make([]float64, 150)
+	for i := range X {
+		x := rng.Float64() * 10
+		X[i] = []float64{x}
+		y[i] = math.Floor(x) // step function: deeper trees win
+	}
+	pts, err := GridSearch(Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 10}},
+		map[string][]float64{"max_depth": {1, 8}}, X, y, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 grid points, got %d", len(pts))
+	}
+	if pts[0].Params["max_depth"] != 8 {
+		t.Errorf("grid search picked depth %g, want 8 for a step target", pts[0].Params["max_depth"])
+	}
+}
+
+func TestSpecNewUnknownAlgorithm(t *testing.T) {
+	if _, err := (Spec{Algorithm: "nope"}).New(1); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestDefaultSpecsConstructible(t *testing.T) {
+	for _, s := range DefaultSpecs() {
+		if _, err := s.New(1); err != nil {
+			t.Errorf("spec %q: %v", s.Algorithm, err)
+		}
+	}
+}
+
+func almostEqf(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPersistRoundTripAllKinds(t *testing.T) {
+	X, y := synthLinear(xrand.New(21), 150, 0.1)
+	probe := []float64{4.2, 6.6}
+	models := []Regressor{}
+
+	lin := NewLinear()
+	if err := lin.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, lin)
+
+	lasso := NewLasso(0.01)
+	if err := lasso.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, lasso)
+
+	svr := NewSVR(10, 0.05, 0)
+	if err := svr.Fit(X[:80], y[:80]); err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, svr)
+
+	tree := NewTree(6, 2)
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, tree)
+
+	forest := NewForest(ForestConfig{NumTrees: 12, Seed: 3})
+	if err := forest.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, forest)
+
+	for _, m := range models {
+		var buf bytes.Buffer
+		if err := SaveRegressor(&buf, m); err != nil {
+			t.Fatalf("%T: save: %v", m, err)
+		}
+		got, err := LoadRegressor(&buf)
+		if err != nil {
+			t.Fatalf("%T: load: %v", m, err)
+		}
+		if want, have := m.Predict(probe), got.Predict(probe); want != have {
+			t.Errorf("%T: prediction changed after round trip: %g vs %g", m, want, have)
+		}
+	}
+}
+
+func TestLoadRegressorRejectsGarbage(t *testing.T) {
+	if _, err := LoadRegressor(strings.NewReader("not json")); err == nil {
+		t.Error("expected error for non-JSON input")
+	}
+	if _, err := LoadRegressor(strings.NewReader(`{"kind":"alien","payload":{}}`)); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if _, err := LoadRegressor(strings.NewReader(
+		`{"kind":"forest","payload":{"trees":[{"root":{"leaf":false}}]}}`)); err == nil {
+		t.Error("expected error for split node without children")
+	}
+}
+
+func TestSaveRegressorRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveRegressor(&buf, fakeRegressor{}); err == nil {
+		t.Error("expected error for unsupported regressor type")
+	}
+}
+
+type fakeRegressor struct{}
+
+func (fakeRegressor) Fit([][]float64, []float64) error { return nil }
+func (fakeRegressor) Predict([]float64) float64        { return 0 }
+
+func TestForestOOBEstimate(t *testing.T) {
+	X, y := synthLinear(xrand.New(31), 400, 0.2)
+	m := NewForest(ForestConfig{NumTrees: 40, Seed: 2, ComputeOOB: true})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	oob, n := m.OOBMAPE()
+	if n < 350 {
+		t.Errorf("OOB covered only %d/400 samples", n)
+	}
+	if oob <= 0 || oob > 0.5 {
+		t.Errorf("implausible OOB MAPE %g", oob)
+	}
+	// OOB (generalization) error must exceed in-sample error.
+	inSample := MAPE(y, PredictBatch(m, X))
+	if oob <= inSample {
+		t.Errorf("OOB %g not above in-sample %g", oob, inSample)
+	}
+	// Off by default.
+	m2 := NewForest(ForestConfig{NumTrees: 5, Seed: 2})
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := m2.OOBMAPE(); n != 0 {
+		t.Errorf("OOB computed without ComputeOOB: n=%d", n)
+	}
+}

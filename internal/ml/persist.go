@@ -1,0 +1,206 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained regressors serialize to a self-describing JSON
+// envelope, so a model trained from an expensive measurement campaign can be
+// stored next to its dataset and reloaded without refitting.
+
+// envelope is the on-disk wrapper; Kind selects the payload.
+type envelope struct {
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type linearJSON struct {
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+}
+
+type lassoJSON struct {
+	Alpha     float64   `json:"alpha"`
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+}
+
+type svrJSON struct {
+	C       float64     `json:"c"`
+	Epsilon float64     `json:"epsilon"`
+	Gamma   float64     `json:"gamma"`
+	X       [][]float64 `json:"x"`
+	Beta    []float64   `json:"beta"`
+	Mean    []float64   `json:"mean"`
+	Scale   []float64   `json:"scale"`
+	GammaF  float64     `json:"gamma_fitted"`
+}
+
+type nodeJSON struct {
+	Leaf    bool      `json:"leaf"`
+	Value   float64   `json:"value,omitempty"`
+	Feature int       `json:"feature,omitempty"`
+	Thresh  float64   `json:"thresh,omitempty"`
+	Left    *nodeJSON `json:"left,omitempty"`
+	Right   *nodeJSON `json:"right,omitempty"`
+}
+
+type treeJSON struct {
+	MaxDepth int       `json:"max_depth"`
+	MinLeaf  int       `json:"min_leaf"`
+	D        int       `json:"d"`
+	Root     *nodeJSON `json:"root"`
+}
+
+type forestJSON struct {
+	Trees []treeJSON `json:"trees"`
+}
+
+// SaveRegressor writes a fitted regressor to w. Supported concrete types:
+// *Linear, *Lasso, *SVR, *Tree, *Forest.
+func SaveRegressor(w io.Writer, r Regressor) error {
+	var env envelope
+	var payload any
+	switch m := r.(type) {
+	case *Linear:
+		env.Kind = "linear"
+		payload = linearJSON{Coef: m.Coef, Intercept: m.Intercept}
+	case *Lasso:
+		env.Kind = "lasso"
+		payload = lassoJSON{Alpha: m.Alpha, Coef: m.Coef, Intercept: m.Intercept}
+	case *SVR:
+		env.Kind = "svr"
+		payload = svrJSON{
+			C: m.C, Epsilon: m.Epsilon, Gamma: m.Gamma,
+			X: m.x, Beta: m.beta, Mean: m.mean, Scale: m.scale, GammaF: m.gamma,
+		}
+	case *Tree:
+		env.Kind = "tree"
+		payload = encodeTree(m)
+	case *Forest:
+		env.Kind = "forest"
+		fj := forestJSON{Trees: make([]treeJSON, len(m.trees))}
+		for i, t := range m.trees {
+			fj.Trees[i] = encodeTree(t)
+		}
+		payload = fj
+	default:
+		return fmt.Errorf("ml: cannot persist regressor type %T", r)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	env.Payload = raw
+	return json.NewEncoder(w).Encode(env)
+}
+
+// LoadRegressor reads a regressor written by SaveRegressor.
+func LoadRegressor(r io.Reader) (Regressor, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	switch env.Kind {
+	case "linear":
+		var p linearJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, err
+		}
+		return &Linear{Coef: p.Coef, Intercept: p.Intercept}, nil
+	case "lasso":
+		var p lassoJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, err
+		}
+		m := NewLasso(p.Alpha)
+		m.Coef = p.Coef
+		m.Intercept = p.Intercept
+		return m, nil
+	case "svr":
+		var p svrJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, err
+		}
+		m := NewSVR(p.C, p.Epsilon, p.Gamma)
+		m.x, m.beta, m.mean, m.scale, m.gamma = p.X, p.Beta, p.Mean, p.Scale, p.GammaF
+		return m, nil
+	case "tree":
+		var p treeJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, err
+		}
+		return decodeTree(p)
+	case "forest":
+		var p forestJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, err
+		}
+		f := NewForest(ForestConfig{NumTrees: len(p.Trees)})
+		f.trees = make([]*Tree, len(p.Trees))
+		for i, tj := range p.Trees {
+			t, err := decodeTree(tj)
+			if err != nil {
+				return nil, err
+			}
+			f.trees[i] = t
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown persisted model kind %q", env.Kind)
+	}
+}
+
+func encodeTree(t *Tree) treeJSON {
+	return treeJSON{MaxDepth: t.MaxDepth, MinLeaf: t.MinLeaf, D: t.d, Root: encodeNode(t.root)}
+}
+
+func encodeNode(n *treeNode) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		return &nodeJSON{Leaf: true, Value: n.value}
+	}
+	return &nodeJSON{
+		Feature: n.feature, Thresh: n.thresh,
+		Left: encodeNode(n.left), Right: encodeNode(n.right),
+	}
+}
+
+func decodeTree(p treeJSON) (*Tree, error) {
+	t := NewTree(p.MaxDepth, p.MinLeaf)
+	t.d = p.D
+	root, err := decodeNode(p.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+func decodeNode(p *nodeJSON, depth int) (*treeNode, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if depth > 10000 {
+		return nil, fmt.Errorf("ml: persisted tree too deep (corrupt?)")
+	}
+	if p.Leaf {
+		return &treeNode{leaf: true, value: p.Value}, nil
+	}
+	if p.Left == nil || p.Right == nil {
+		return nil, fmt.Errorf("ml: persisted split node missing a child")
+	}
+	l, err := decodeNode(p.Left, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	r, err := decodeNode(p.Right, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return &treeNode{feature: p.Feature, thresh: p.Thresh, left: l, right: r}, nil
+}

@@ -1,0 +1,171 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVR is ε-insensitive support vector regression with an RBF kernel, trained
+// by exact cyclic coordinate maximization of the dual in the β = α − α*
+// formulation. The bias is folded into the kernel (K + 1), which removes the
+// equality constraint and makes each coordinate update a closed-form
+// soft-threshold followed by box clipping — the same fixed point SMO reaches.
+type SVR struct {
+	// C is the box constraint (regularization inverse).
+	C float64
+	// Epsilon is the insensitive-tube half width.
+	Epsilon float64
+	// Gamma is the RBF width (0 selects the "scale" heuristic
+	// 1/(d·Var(X)) used by scikit-learn).
+	Gamma float64
+	// MaxIter bounds the coordinate sweeps.
+	MaxIter int
+	// Tol is the convergence threshold on the max β change.
+	Tol float64
+
+	x           [][]float64 // support data (all training rows)
+	beta        []float64
+	mean, scale []float64
+	gamma       float64
+}
+
+// NewSVR returns an SVR with the given hyper-parameters and scikit-learn-like
+// iteration defaults.
+func NewSVR(c, epsilon, gamma float64) *SVR {
+	return &SVR{C: c, Epsilon: epsilon, Gamma: gamma, MaxIter: 300, Tol: 1e-5}
+}
+
+// Fit implements Regressor.
+func (s *SVR) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if s.C <= 0 {
+		return fmt.Errorf("ml: svr C must be positive, got %g", s.C)
+	}
+	if s.Epsilon < 0 {
+		return fmt.Errorf("ml: svr epsilon must be non-negative, got %g", s.Epsilon)
+	}
+
+	// Standardize features (RBF kernels need comparable scales).
+	s.mean = make([]float64, d)
+	s.scale = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var m float64
+		for i := 0; i < n; i++ {
+			m += X[i][j]
+		}
+		m /= float64(n)
+		var v float64
+		for i := 0; i < n; i++ {
+			dv := X[i][j] - m
+			v += dv * dv
+		}
+		sc := math.Sqrt(v / float64(n))
+		if sc == 0 {
+			sc = 1
+		}
+		s.mean[j], s.scale[j] = m, sc
+	}
+	s.x = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		s.x[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			s.x[i][j] = (X[i][j] - s.mean[j]) / s.scale[j]
+		}
+	}
+
+	s.gamma = s.Gamma
+	if s.gamma == 0 {
+		// "scale": 1/(d·Var) with standardized features Var ≈ 1.
+		s.gamma = 1 / float64(d)
+	}
+
+	// Precompute the kernel matrix (with +1 bias fold).
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := s.rbf(s.x[i], s.x[j]) + 1
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	// f[i] = Σ_j β_j K_ij is the current prediction.
+	s.beta = make([]float64, n)
+	f := make([]float64, n)
+
+	for it := 0; it < s.MaxIter; it++ {
+		var maxDelta float64
+		for i := 0; i < n; i++ {
+			// Exact maximizer of the dual along β_i:
+			// β_i ← clip( soft(y_i − f_i + β_i·K_ii, ε) / K_ii, ±C ).
+			z := y[i] - f[i] + s.beta[i]*k[i][i]
+			nb := softThreshold(z, s.Epsilon) / k[i][i]
+			if nb > s.C {
+				nb = s.C
+			} else if nb < -s.C {
+				nb = -s.C
+			}
+			if delta := nb - s.beta[i]; delta != 0 {
+				for j := 0; j < n; j++ {
+					f[j] += delta * k[i][j]
+				}
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+				s.beta[i] = nb
+			}
+		}
+		if maxDelta < s.Tol {
+			break
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (s *SVR) Predict(x []float64) float64 {
+	if len(s.x) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(s.mean))
+	for j := range xs {
+		v := 0.0
+		if j < len(x) {
+			v = x[j]
+		}
+		xs[j] = (v - s.mean[j]) / s.scale[j]
+	}
+	var out float64
+	for i, b := range s.beta {
+		if b == 0 {
+			continue
+		}
+		out += b * (s.rbf(s.x[i], xs) + 1)
+	}
+	return out
+}
+
+// NumSupportVectors returns the count of nonzero dual coefficients.
+func (s *SVR) NumSupportVectors() int {
+	n := 0
+	for _, b := range s.beta {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// rbf evaluates exp(−γ‖a−b‖²).
+func (s *SVR) rbf(a, b []float64) float64 {
+	var d2 float64
+	for j := range a {
+		dv := a[j] - b[j]
+		d2 += dv * dv
+	}
+	return math.Exp(-s.gamma * d2)
+}

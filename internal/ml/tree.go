@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Tree is a CART regression tree: axis-aligned splits chosen by maximal
+// variance reduction, mean-value leaves.
+type Tree struct {
+	// MaxDepth limits tree depth (0 = unbounded, scikit-learn's default).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// Features restricts the candidate split features (nil = all) — used
+	// by the random forest's per-node feature subsampling through
+	// featurePicker.
+	featurePicker func(d int) []int
+
+	root *treeNode
+	d    int
+}
+
+type treeNode struct {
+	feature int
+	thresh  float64
+	left    *treeNode
+	right   *treeNode
+	value   float64
+	leaf    bool
+}
+
+// NewTree returns a regression tree with the given limits.
+func NewTree(maxDepth, minLeaf int) *Tree {
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	return &Tree{MaxDepth: maxDepth, MinLeaf: minLeaf}
+}
+
+// Fit implements Regressor.
+func (t *Tree) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	t.d = d
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, 0)
+	return nil
+}
+
+// build grows the tree on the sample subset idx.
+func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	mean := meanOf(y, idx)
+	if len(idx) < 2*t.MinLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) || pureTargets(y, idx) {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	feats := t.candidateFeatures()
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	parentSSE := sseOf(y, idx, mean)
+
+	sorted := make([]int, len(idx))
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+
+		// Prefix scan: evaluate every split position with running sums.
+		var sumL, sumSqL float64
+		sumR, sumSqR := sums(y, sorted)
+		for i := 0; i < len(sorted)-1; i++ {
+			v := y[sorted[i]]
+			sumL += v
+			sumSqL += v * v
+			sumR -= v
+			sumSqR -= v * v
+			// Can't split between equal feature values.
+			if X[sorted[i]][f] == X[sorted[i+1]][f] {
+				continue
+			}
+			nl, nr := i+1, len(sorted)-i-1
+			if nl < t.MinLeaf || nr < t.MinLeaf {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/float64(nl)
+			sseR := sumSqR - sumR*sumR/float64(nr)
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = 0.5 * (X[sorted[i]][f] + X[sorted[i+1]][f])
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    t.build(X, y, li, depth+1),
+		right:   t.build(X, y, ri, depth+1),
+	}
+}
+
+// candidateFeatures returns the features considered at this node.
+func (t *Tree) candidateFeatures() []int {
+	if t.featurePicker != nil {
+		return t.featurePicker(t.d)
+	}
+	all := make([]int, t.d)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Predict implements Regressor.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if n.feature < len(x) && x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the fitted tree's depth (0 for a stump).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+// Leaves returns the fitted leaf count.
+func (t *Tree) Leaves() int { return nodeLeaves(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func nodeLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return nodeLeaves(n.left) + nodeLeaves(n.right)
+}
+
+func meanOf(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseOf(y []float64, idx []int, mean float64) float64 {
+	var s float64
+	for _, i := range idx {
+		d := y[i] - mean
+		s += d * d
+	}
+	return s
+}
+
+func sums(y []float64, idx []int) (sum, sumSq float64) {
+	for _, i := range idx {
+		sum += y[i]
+		sumSq += y[i] * y[i]
+	}
+	return sum, sumSq
+}
+
+func pureTargets(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if math.Abs(y[i]-first) > 1e-15 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsenergy/internal/xrand"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Speedup: 1.2, NormEnergy: 0.9}
+	b := Point{Speedup: 1.0, NormEnergy: 1.0}
+	if !a.Dominates(b) {
+		t.Error("a should dominate b")
+	}
+	if b.Dominates(a) {
+		t.Error("b should not dominate a")
+	}
+	if a.Dominates(a) {
+		t.Error("a point must not dominate itself")
+	}
+	c := Point{Speedup: 1.3, NormEnergy: 1.2} // faster but hungrier
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Error("trade-off points must be mutually non-dominated")
+	}
+}
+
+func TestFrontSimple(t *testing.T) {
+	pts := []Point{
+		{FreqMHz: 1000, Speedup: 1.0, NormEnergy: 1.0},
+		{FreqMHz: 1200, Speedup: 1.1, NormEnergy: 1.2},
+		{FreqMHz: 800, Speedup: 0.9, NormEnergy: 0.8},
+		{FreqMHz: 900, Speedup: 0.95, NormEnergy: 1.1}, // dominated by 1000
+	}
+	f := Front(pts)
+	if len(f) != 3 {
+		t.Fatalf("front size %d, want 3: %+v", len(f), f)
+	}
+	// Sorted by descending speedup.
+	for i := 1; i < len(f); i++ {
+		if f[i].Speedup > f[i-1].Speedup {
+			t.Error("front not sorted by descending speedup")
+		}
+		if f[i].NormEnergy >= f[i-1].NormEnergy {
+			t.Error("front energies not strictly increasing with speedup")
+		}
+	}
+	for _, p := range f {
+		if p.FreqMHz == 900 {
+			t.Error("dominated point on the front")
+		}
+	}
+}
+
+func TestFrontEmpty(t *testing.T) {
+	if f := Front(nil); f != nil {
+		t.Errorf("front of nothing should be nil, got %v", f)
+	}
+}
+
+func TestFrontProperties(t *testing.T) {
+	// Properties over random point clouds: (1) no front member dominates
+	// another; (2) every excluded point is dominated by a front member or
+	// duplicates a front member's outcome.
+	f := func(seed uint16, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := xrand.New(uint64(seed) + 1)
+		pts := make([]Point, int(n%60)+2)
+		for i := range pts {
+			pts[i] = Point{
+				FreqMHz:    500 + 10*i,
+				Speedup:    0.5 + rng.Float64(),
+				NormEnergy: 0.5 + rng.Float64(),
+			}
+		}
+		front := Front(pts)
+		onFront := map[int]bool{}
+		for _, p := range front {
+			onFront[p.FreqMHz] = true
+		}
+		for i, a := range front {
+			for j, b := range front {
+				if i != j && a.Dominates(b) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			if onFront[p.FreqMHz] {
+				continue
+			}
+			covered := false
+			for _, fp := range front {
+				if fp.Dominates(p) || (fp.Speedup == p.Speedup && fp.NormEnergy == p.NormEnergy) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactMatches(t *testing.T) {
+	if got := ExactMatches([]int{1, 2, 3}, []int{2, 3, 4}); got != 2 {
+		t.Errorf("exact matches %d, want 2", got)
+	}
+	if got := ExactMatches(nil, []int{1}); got != 0 {
+		t.Errorf("empty prediction matches %d, want 0", got)
+	}
+}
+
+func TestMeanFrontDistance(t *testing.T) {
+	front := []Point{{Speedup: 1, NormEnergy: 1}}
+	achieved := []Point{{Speedup: 1, NormEnergy: 1}, {Speedup: 1, NormEnergy: 1.2}}
+	got := MeanFrontDistance(achieved, front)
+	if !almostEq(got, 0.1, 1e-12) {
+		t.Errorf("mean distance %g, want 0.1", got)
+	}
+	if !math.IsNaN(MeanFrontDistance(nil, front)) {
+		t.Error("distance of empty set should be NaN")
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	front := []Point{
+		{Speedup: 1.0, NormEnergy: 1.0},
+		{Speedup: 0.8, NormEnergy: 0.8},
+	}
+	// Reference corner (0.5, 1.5): point 1 contributes (1.0-0.8)*(1.5-1.0),
+	// point 2 contributes (0.8-0.5)*(1.5-0.8).
+	want := 0.2*0.5 + 0.3*0.7
+	if got := Hypervolume(front, 0.5, 1.5); !almostEq(got, want, 1e-12) {
+		t.Errorf("hypervolume %g, want %g", got, want)
+	}
+	// A strictly better front has larger hypervolume.
+	better := []Point{
+		{Speedup: 1.1, NormEnergy: 0.9},
+		{Speedup: 0.8, NormEnergy: 0.7},
+	}
+	if Hypervolume(better, 0.5, 1.5) <= Hypervolume(front, 0.5, 1.5) {
+		t.Error("dominating front should have larger hypervolume")
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	pts := []Point{{FreqMHz: 100}, {FreqMHz: 200}}
+	fs := Frequencies(pts)
+	if len(fs) != 2 || fs[0] != 100 || fs[1] != 200 {
+		t.Errorf("frequencies %v", fs)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

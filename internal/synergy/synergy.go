@@ -1,0 +1,225 @@
+// Package synergy provides a portable energy-profiling and frequency-scaling
+// API over simulated GPUs, reproducing the role of the SYnergy library the
+// paper uses: a single vendor-neutral interface wrapping NVML (NVIDIA) and
+// ROCm-SMI (AMD) that can enumerate devices, scale the core clock, submit
+// kernels, and attribute energy to each submission — including per-kernel
+// frequency scaling, the capability the paper's future work builds on.
+package synergy
+
+import (
+	"fmt"
+	"sync"
+
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/kernels"
+)
+
+// Platform owns the set of visible devices. It mirrors SYnergy's runtime,
+// which discovers every GPU reachable through the vendor libraries.
+type Platform struct {
+	mu      sync.Mutex
+	devices []*Queue
+}
+
+// NewPlatform builds a platform exposing one queue per spec, with device
+// noise generators derived from seed so that independent platforms constructed
+// with the same seed observe identical measurements.
+func NewPlatform(seed uint64, specs ...gpusim.Spec) (*Platform, error) {
+	p := &Platform{}
+	for i, s := range specs {
+		d, err := gpusim.New(s, seed+uint64(i)*0x51_7c_c1b7_2722_0a95)
+		if err != nil {
+			return nil, err
+		}
+		p.devices = append(p.devices, &Queue{dev: d})
+	}
+	return p, nil
+}
+
+// Queues returns the device queues in discovery order.
+func (p *Platform) Queues() []*Queue {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Queue, len(p.devices))
+	copy(out, p.devices)
+	return out
+}
+
+// QueueByName returns the queue of the device with the given name.
+func (p *Platform) QueueByName(name string) (*Queue, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, q := range p.devices {
+		if q.dev.Spec().Name == name {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("synergy: no device named %q", name)
+}
+
+// Event records one profiled kernel submission, in the style of SYnergy's
+// per-kernel energy events.
+type Event struct {
+	Kernel  string
+	FreqMHz int
+	TimeS   float64
+	EnergyJ float64
+}
+
+// Queue is an in-order execution queue bound to one device, with per-kernel
+// energy attribution. Queue is safe for concurrent use; submissions are
+// serialized, which models the single hardware queue the paper profiles.
+type Queue struct {
+	mu     sync.Mutex
+	dev    *gpusim.Device
+	events []Event
+	// pinned, when non-zero, is the frequency applied to every submission
+	// (the paper's per-application scaling mode).
+	pinned int
+}
+
+// Device exposes the underlying simulated device (read-only use intended).
+func (q *Queue) Device() *gpusim.Device { return q.dev }
+
+// Spec returns the device description.
+func (q *Queue) Spec() gpusim.Spec { return q.dev.Spec() }
+
+// SupportedFreqsMHz returns the device's selectable core frequencies.
+func (q *Queue) SupportedFreqsMHz() []int {
+	fs := q.dev.Spec().CoreFreqsMHz
+	out := make([]int, len(fs))
+	copy(out, fs)
+	return out
+}
+
+// SetCoreFreqMHz pins every subsequent submission to the given core clock.
+func (q *Queue) SetCoreFreqMHz(mhz int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.dev.Spec().HasFreq(mhz) {
+		return fmt.Errorf("synergy: %s: unsupported frequency %d MHz", q.dev.Spec().Name, mhz)
+	}
+	q.pinned = mhz
+	return q.dev.SetCoreFreqMHz(mhz)
+}
+
+// ResetFrequency restores the vendor baseline (NVIDIA default clock or AMD
+// auto performance level).
+func (q *Queue) ResetFrequency() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pinned = 0
+	q.dev.ResetCoreFreq()
+}
+
+// BaselineFreqMHz returns the frequency used as the 1.0 speedup baseline.
+func (q *Queue) BaselineFreqMHz() int { return q.dev.Spec().BaselineFreqMHz() }
+
+// Submit runs the kernel profile at the queue's current frequency, records an
+// energy event, and returns the observation.
+func (q *Queue) Submit(p kernels.Profile) (gpusim.Result, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	r, err := q.dev.Run(p)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	q.events = append(q.events, Event{
+		Kernel: p.Name, FreqMHz: q.dev.CoreFreqMHz(),
+		TimeS: r.TimeS, EnergyJ: r.EnergyJ,
+	})
+	return r, nil
+}
+
+// SubmitAt runs the kernel at an explicit per-kernel frequency without
+// disturbing the queue's pinned clock — SYnergy's per-kernel scaling mode.
+func (q *Queue) SubmitAt(p kernels.Profile, mhz int) (gpusim.Result, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	r, err := q.dev.RunAt(p, mhz)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	q.events = append(q.events, Event{Kernel: p.Name, FreqMHz: mhz, TimeS: r.TimeS, EnergyJ: r.EnergyJ})
+	return r, nil
+}
+
+// Events returns a copy of the recorded per-kernel energy events.
+func (q *Queue) Events() []Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Event, len(q.events))
+	copy(out, q.events)
+	return out
+}
+
+// DrainEvents returns the recorded events and clears the log.
+func (q *Queue) DrainEvents() []Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.events
+	q.events = nil
+	return out
+}
+
+// EnergyCounterJ exposes the device's cumulative energy counter.
+func (q *Queue) EnergyCounterJ() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dev.EnergyCounterJ()
+}
+
+// Measurement is an averaged observation of a workload at one frequency.
+type Measurement struct {
+	FreqMHz int
+	TimeS   float64
+	EnergyJ float64
+}
+
+// Workload is anything that can run on a queue and report aggregate time and
+// energy — both applications implement it. The paper's training harness
+// launches a workload repeatedly while sweeping the clock.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// RunOn executes the whole workload on q at q's current frequency and
+	// returns total wall time and energy.
+	RunOn(q *Queue) (timeS, energyJ float64, err error)
+}
+
+// MeasureAt runs w on q at the given frequency reps times and returns the
+// mean observation, reproducing the paper's five-repetition protocol.
+func MeasureAt(q *Queue, w Workload, mhz, reps int) (Measurement, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	if err := q.SetCoreFreqMHz(mhz); err != nil {
+		return Measurement{}, err
+	}
+	defer q.ResetFrequency()
+	var sumT, sumE float64
+	for i := 0; i < reps; i++ {
+		t, e, err := w.RunOn(q)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("synergy: measuring %s at %d MHz: %w", w.Name(), mhz, err)
+		}
+		sumT += t
+		sumE += e
+	}
+	n := float64(reps)
+	return Measurement{FreqMHz: mhz, TimeS: sumT / n, EnergyJ: sumE / n}, nil
+}
+
+// Sweep measures w at every frequency in freqs (reps repetitions each) and
+// returns the observations in the same order.
+func Sweep(q *Queue, w Workload, freqs []int, reps int) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(freqs))
+	for _, f := range freqs {
+		m, err := MeasureAt(q, w, f, reps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,305 @@
+package synergy
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/kernels"
+)
+
+func testProfile() kernels.Profile {
+	return kernels.Profile{
+		Name: "k",
+		Mix: kernels.InstructionMix{
+			FloatAdd: 50, FloatMul: 50, IntAdd: 10, GlobalAcc: 4,
+		},
+		WorkItems: 1 << 16, Launches: 4,
+		WorkingSetBytes: 1 << 20, CacheReuse: 0.8,
+	}
+}
+
+func newTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(5, gpusim.V100Spec(), gpusim.MI100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformDiscovery(t *testing.T) {
+	p := newTestPlatform(t)
+	qs := p.Queues()
+	if len(qs) != 2 {
+		t.Fatalf("want 2 devices, got %d", len(qs))
+	}
+	if qs[0].Spec().Name != "NVIDIA V100" || qs[1].Spec().Name != "AMD MI100" {
+		t.Errorf("device order %q, %q", qs[0].Spec().Name, qs[1].Spec().Name)
+	}
+}
+
+func TestQueueByName(t *testing.T) {
+	p := newTestPlatform(t)
+	q, err := p.QueueByName("AMD MI100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Spec().Vendor != gpusim.AMD {
+		t.Error("wrong device returned")
+	}
+	if _, err := p.QueueByName("H100"); err == nil {
+		t.Error("expected error for unknown device")
+	}
+}
+
+func TestSubmitRecordsEvents(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	r, err := q.Submit(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeS <= 0 || r.EnergyJ <= 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	evs := q.Events()
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	if evs[0].Kernel != "k" || evs[0].FreqMHz != q.BaselineFreqMHz() {
+		t.Errorf("event %+v", evs[0])
+	}
+	if got := q.DrainEvents(); len(got) != 1 {
+		t.Errorf("drain returned %d events", len(got))
+	}
+	if got := q.Events(); len(got) != 0 {
+		t.Errorf("events not cleared after drain: %d", len(got))
+	}
+}
+
+func TestFrequencyPinning(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	target := q.Spec().FMaxMHz()
+	if err := q.SetCoreFreqMHz(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if evs := q.Events(); evs[len(evs)-1].FreqMHz != target {
+		t.Errorf("submission ran at %d, want pinned %d", evs[len(evs)-1].FreqMHz, target)
+	}
+	q.ResetFrequency()
+	if q.Device().CoreFreqMHz() != q.BaselineFreqMHz() {
+		t.Error("reset did not restore baseline")
+	}
+	if err := q.SetCoreFreqMHz(42); err == nil {
+		t.Error("expected error for unsupported frequency")
+	}
+}
+
+func TestSubmitAtLeavesPinnedClock(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	pin := q.Spec().NearestFreqMHz(1000)
+	if err := q.SetCoreFreqMHz(pin); err != nil {
+		t.Fatal(err)
+	}
+	other := q.Spec().FMaxMHz()
+	if _, err := q.SubmitAt(testProfile(), other); err != nil {
+		t.Fatal(err)
+	}
+	if q.Device().CoreFreqMHz() != pin {
+		t.Errorf("per-kernel submission disturbed the pinned clock: %d", q.Device().CoreFreqMHz())
+	}
+	evs := q.Events()
+	if evs[len(evs)-1].FreqMHz != other {
+		t.Errorf("per-kernel event frequency %d, want %d", evs[len(evs)-1].FreqMHz, other)
+	}
+	if _, err := q.SubmitAt(testProfile(), 13); err == nil {
+		t.Error("expected error for bad per-kernel frequency")
+	}
+}
+
+// sweepWorkload adapts a profile for MeasureAt tests.
+type sweepWorkload struct{ p kernels.Profile }
+
+func (w sweepWorkload) Name() string { return w.p.Name }
+func (w sweepWorkload) RunOn(q *Queue) (float64, float64, error) {
+	r, err := q.Submit(w.p)
+	return r.TimeS, r.EnergyJ, err
+}
+
+func TestMeasureAtAveragesReps(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	w := sweepWorkload{testProfile()}
+	m, err := MeasureAt(q, w, q.BaselineFreqMHz(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TimeS <= 0 || m.EnergyJ <= 0 {
+		t.Fatalf("bad measurement %+v", m)
+	}
+	if len(q.Events()) != 5 {
+		t.Errorf("5 repetitions should leave 5 events, got %d", len(q.Events()))
+	}
+	// The queue frequency is restored after measuring.
+	if q.Device().CoreFreqMHz() != q.BaselineFreqMHz() {
+		t.Error("MeasureAt leaked its pinned frequency")
+	}
+}
+
+func TestMeasureAtBadFrequency(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	if _, err := MeasureAt(q, sweepWorkload{testProfile()}, 31, 1); err == nil {
+		t.Error("expected error for unsupported frequency")
+	}
+}
+
+func TestSweepOrderMatchesRequest(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	spec := q.Spec()
+	freqs := []int{spec.FMaxMHz(), spec.BaselineFreqMHz(), spec.NearestFreqMHz(900)}
+	ms, err := Sweep(q, sweepWorkload{testProfile()}, freqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("want 3 measurements, got %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.FreqMHz != freqs[i] {
+			t.Errorf("measurement %d at %d, want %d", i, m.FreqMHz, freqs[i])
+		}
+	}
+}
+
+func TestPlatformsIdenticallySeededAgree(t *testing.T) {
+	a := newTestPlatform(t)
+	b := newTestPlatform(t)
+	wa, _ := a.Queues()[0].Submit(testProfile())
+	wb, _ := b.Queues()[0].Submit(testProfile())
+	if wa != wb {
+		t.Error("identically seeded platforms observed different measurements")
+	}
+}
+
+func TestQueueConcurrentSubmissionsSafe(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := q.Submit(testProfile()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(q.Events()); got != 16 {
+		t.Errorf("want 16 events, got %d", got)
+	}
+	// The energy counter equals the sum of all event energies.
+	var sum float64
+	for _, e := range q.Events() {
+		sum += e.EnergyJ
+	}
+	if math.Abs(sum-q.EnergyCounterJ()) > 1e-9 {
+		t.Errorf("counter %g != event sum %g", q.EnergyCounterJ(), sum)
+	}
+}
+
+func TestSupportedFreqsIsCopy(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	fs := q.SupportedFreqsMHz()
+	fs[0] = -1
+	if q.SupportedFreqsMHz()[0] == -1 {
+		t.Error("SupportedFreqsMHz leaks internal slice")
+	}
+}
+
+func TestPowerTraceReconstruction(t *testing.T) {
+	events := []Event{
+		{Kernel: "a", TimeS: 1.0, EnergyJ: 100}, // 100 W for 1 s
+		{Kernel: "b", TimeS: 0.5, EnergyJ: 200}, // 400 W for 0.5 s
+	}
+	trace, err := PowerTrace(events, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 6 {
+		t.Fatalf("want 6 samples over 1.5 s at 0.25 s, got %d", len(trace))
+	}
+	for _, p := range trace[:4] {
+		if p.PowerW != 100 || p.Kernel != "a" {
+			t.Errorf("sample %+v, want kernel a at 100 W", p)
+		}
+	}
+	for _, p := range trace[4:] {
+		if p.PowerW != 400 || p.Kernel != "b" {
+			t.Errorf("sample %+v, want kernel b at 400 W", p)
+		}
+	}
+	// Trace integration approximates the true energy (300 J).
+	if e := TraceEnergyJ(trace, 0.25); e < 250 || e > 350 {
+		t.Errorf("trace energy %g, want ~300", e)
+	}
+}
+
+func TestPowerTraceValidation(t *testing.T) {
+	if _, err := PowerTrace(nil, 0.1); err == nil {
+		t.Error("expected error for no events")
+	}
+	if _, err := PowerTrace([]Event{{TimeS: 1, EnergyJ: 1}}, 0); err == nil {
+		t.Error("expected error for zero period")
+	}
+	if _, err := PowerTrace([]Event{{TimeS: -1, EnergyJ: 1}}, 0.1); err == nil {
+		t.Error("expected error for negative duration")
+	}
+}
+
+func TestPowerTraceShortRun(t *testing.T) {
+	trace, err := PowerTrace([]Event{{Kernel: "k", TimeS: 1e-6, EnergyJ: 1e-4}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1 || trace[0].Kernel != "k" {
+		t.Errorf("short run should emit one sample, got %+v", trace)
+	}
+}
+
+func TestPowerTraceFromRealWorkload(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	for i := 0; i < 3; i++ {
+		if _, err := q.Submit(testProfile()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := q.Events()
+	var total float64
+	for _, e := range events {
+		total += e.TimeS
+	}
+	trace, err := PowerTrace(events, total/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 5 {
+		t.Errorf("trace too sparse: %d samples", len(trace))
+	}
+	for _, pt := range trace {
+		if pt.PowerW <= 0 {
+			t.Errorf("non-positive power sample %+v", pt)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package synergy
+
+import "fmt"
+
+// Power-trace reconstruction: real profiling stacks sample board power at a
+// fixed rate while the application runs; this reconstructs the equivalent
+// piecewise-constant trace from the queue's per-kernel energy events, so
+// users can inspect where an application's energy goes over time.
+
+// TracePoint is one sample of a reconstructed power trace.
+type TracePoint struct {
+	TimeS  float64 // sample timestamp from the start of the trace
+	PowerW float64 // board power during the sample interval
+	Kernel string  // kernel executing at the sample time ("" = gap)
+}
+
+// PowerTrace replays the events as a back-to-back execution timeline and
+// samples it every dt seconds. Each event contributes its average power
+// (energy/time) for its duration.
+func PowerTrace(events []Event, dt float64) ([]TracePoint, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("synergy: trace sample period must be positive, got %g", dt)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("synergy: no events to trace")
+	}
+	type span struct {
+		start, end float64
+		powerW     float64
+		kernel     string
+	}
+	spans := make([]span, 0, len(events))
+	var cursor float64
+	for _, e := range events {
+		if e.TimeS <= 0 {
+			return nil, fmt.Errorf("synergy: event %q has non-positive duration", e.Kernel)
+		}
+		spans = append(spans, span{
+			start: cursor, end: cursor + e.TimeS,
+			powerW: e.EnergyJ / e.TimeS,
+			kernel: e.Kernel,
+		})
+		cursor += e.TimeS
+	}
+
+	var out []TracePoint
+	si := 0
+	for ts := 0.0; ts < cursor; ts += dt {
+		for si < len(spans) && spans[si].end <= ts {
+			si++
+		}
+		if si >= len(spans) {
+			break
+		}
+		out = append(out, TracePoint{TimeS: ts, PowerW: spans[si].powerW, Kernel: spans[si].kernel})
+	}
+	if len(out) == 0 {
+		// The whole run is shorter than one sample period; emit one point.
+		out = append(out, TracePoint{TimeS: 0, PowerW: spans[0].powerW, Kernel: spans[0].kernel})
+	}
+	return out, nil
+}
+
+// TraceEnergyJ integrates a trace back to joules (sample power x period),
+// a consistency check for trace consumers.
+func TraceEnergyJ(trace []TracePoint, dt float64) float64 {
+	var sum float64
+	for _, p := range trace {
+		sum += p.PowerW * dt
+	}
+	return sum
+}

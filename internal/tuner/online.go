@@ -1,0 +1,128 @@
+package tuner
+
+import (
+	"fmt"
+	"sort"
+
+	"dsenergy/internal/core"
+	"dsenergy/internal/synergy"
+)
+
+// Online frequency search: the runtime-tool alternative the paper's related
+// work discusses (EAR, GEOPM): instead of predicting from a model, measure
+// the application at a sequence of clocks and pick the best observed
+// configuration. It always converges to (near-)oracle choices, but pays for
+// every probe with real executions of the target application — the cost the
+// model-driven approach eliminates.
+
+// OnlineResult is the outcome of an online search.
+type OnlineResult struct {
+	// Choice is the selected frequency with its measured trade-off point.
+	Choice core.CurvePoint
+	// Measurements is the number of application executions spent
+	// (repetitions included).
+	Measurements int
+	// Probed lists the visited frequencies in probe order.
+	Probed []int
+}
+
+// OnlineSearch measures w on q at a shrinking set of clocks and returns the
+// policy's best observed configuration. The search is a ternary/golden-style
+// reduction over the frequency table driven by the policy's scalar
+// preference, plus a final local refinement — a faithful stand-in for the
+// iterative governors of runtime tools.
+func OnlineSearch(q *synergy.Queue, w synergy.Workload, freqs []int, reps int, policy Policy) (OnlineResult, error) {
+	if len(freqs) == 0 {
+		return OnlineResult{}, fmt.Errorf("tuner: empty frequency table")
+	}
+	if policy == nil {
+		return OnlineResult{}, fmt.Errorf("tuner: nil policy")
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	table := append([]int(nil), freqs...)
+	sort.Ints(table)
+
+	var res OnlineResult
+	base := q.BaselineFreqMHz()
+	ref, err := synergy.MeasureAt(q, w, base, reps)
+	if err != nil {
+		return OnlineResult{}, err
+	}
+	res.Measurements += reps
+
+	measured := map[int]core.CurvePoint{}
+	probe := func(mhz int) (core.CurvePoint, error) {
+		if p, ok := measured[mhz]; ok {
+			return p, nil
+		}
+		m, err := synergy.MeasureAt(q, w, mhz, reps)
+		if err != nil {
+			return core.CurvePoint{}, err
+		}
+		res.Measurements += reps
+		res.Probed = append(res.Probed, mhz)
+		p := core.CurvePoint{
+			FreqMHz:    mhz,
+			Speedup:    ref.TimeS / m.TimeS,
+			NormEnergy: m.EnergyJ / ref.EnergyJ,
+		}
+		measured[mhz] = p
+		return p, nil
+	}
+
+	// Interval reduction over table indices: probe lo, mid-left, mid-right,
+	// hi; keep the half whose best point the policy prefers.
+	lo, hi := 0, len(table)-1
+	for hi-lo > 3 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		var window []core.CurvePoint
+		for _, idx := range []int{lo, m1, m2, hi} {
+			p, err := probe(table[idx])
+			if err != nil {
+				return OnlineResult{}, err
+			}
+			window = append(window, p)
+		}
+		best := policy.Select(window)
+		switch best.FreqMHz {
+		case table[lo], table[m1]:
+			hi = m2
+		case table[m2], table[hi]:
+			lo = m1
+		default:
+			lo, hi = m1, m2
+		}
+	}
+	// Exhaustive refinement of the final window.
+	var window []core.CurvePoint
+	for idx := lo; idx <= hi; idx++ {
+		p, err := probe(table[idx])
+		if err != nil {
+			return OnlineResult{}, err
+		}
+		window = append(window, p)
+	}
+	// Include everything measured so far: the policy picks the global best
+	// observation, as a real governor's history table would.
+	all := make([]core.CurvePoint, 0, len(measured))
+	for _, p := range measured {
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].FreqMHz < all[j].FreqMHz })
+	res.Choice = policy.Select(all)
+	_ = window
+	return res, nil
+}
+
+// Oracle returns the policy's choice over the measured truth curves of one
+// input — the best decision any tuner could make with perfect information.
+func Oracle(ds *core.Dataset, input []float64, policy Policy) (core.CurvePoint, error) {
+	truth, err := ds.TrueCurves(input)
+	if err != nil {
+		return core.CurvePoint{}, err
+	}
+	return policy.Select(truth), nil
+}

@@ -1,0 +1,68 @@
+package dsenergy
+
+import (
+	"dsenergy/internal/core"
+	"dsenergy/internal/ml"
+	"dsenergy/internal/synergy"
+	"dsenergy/internal/tuner"
+)
+
+// This file exposes the frequency-tuning layer — the paper's §7 integration
+// path: model-driven frequency selection (SYnergy's energy-target metric)
+// and per-kernel frequency scaling.
+
+type (
+	// Policy selects one frequency from a predicted trade-off curve.
+	Policy = tuner.Policy
+	// Tuner couples a domain-specific model with a selection policy.
+	Tuner = tuner.Tuner
+	// PerKernelTuner holds one model per application kernel.
+	PerKernelTuner = tuner.PerKernelTuner
+	// TuningPlan is a per-kernel frequency assignment.
+	TuningPlan = tuner.Plan
+	// TuningOutcome is the measured effect of a plan vs the baseline clock.
+	TuningOutcome = tuner.Outcome
+	// KernelProfiler is a workload exposing its kernel decomposition.
+	KernelProfiler = tuner.Profiler
+)
+
+// MaxPerformance returns the policy that maximizes predicted speedup.
+func MaxPerformance() Policy { return tuner.MaxPerformance{} }
+
+// MinEnergy returns the policy that minimizes predicted normalized energy.
+func MinEnergy() Policy { return tuner.MinEnergy{} }
+
+// EnergyTarget returns SYnergy's energy-target policy: the fastest
+// configuration predicted to use at most target (fraction of baseline
+// energy, e.g. 0.9 for a 10% reduction).
+func EnergyTarget(target float64) Policy { return tuner.EnergyTarget{Target: target} }
+
+// PerfConstraint returns the policy minimizing energy subject to keeping at
+// least minSpeedup of the baseline performance.
+func PerfConstraint(minSpeedup float64) Policy { return tuner.PerfConstraint{MinSpeedup: minSpeedup} }
+
+// MinEDP returns the energy-delay-product-minimizing policy.
+func MinEDP() Policy { return tuner.MinEDP{} }
+
+// MinED2P returns the energy-delay²-product-minimizing policy.
+func MinED2P() Policy { return tuner.MinED2P{} }
+
+// NewTuner couples a trained model with a policy.
+func NewTuner(model *Model, policy Policy) (*Tuner, error) { return tuner.New(model, policy) }
+
+// TrainPerKernel trains one model per kernel of the featured workloads and
+// returns a tuner that plans per-kernel clocks (SYnergy's per-kernel mode).
+func TrainPerKernel(q *Queue, schema Schema, wls []FeaturedWorkload, cfg BuildConfig,
+	spec ModelSpec, policy Policy, seed uint64) (*PerKernelTuner, error) {
+	return tuner.TrainPerKernel(q, schema, wls, cfg, spec, policy, seed)
+}
+
+// Compile-time wiring checks: both applications satisfy the tuner's
+// kernel-decomposition contract through the facade aliases.
+var (
+	_ synergy.Workload = CronosWorkload{}
+	_ tuner.Profiler   = CronosWorkload{}
+	_ tuner.Profiler   = LiGenWorkload{}
+	_ ml.Regressor     = (*ml.Forest)(nil)
+	_                  = core.FeatureKey
+)
