@@ -1,0 +1,37 @@
+#!/bin/sh
+# ci.sh — the repository's full correctness gate. Every check must pass:
+#
+#   1. gofmt        all source formatted (testdata fixtures included)
+#   2. go vet       stdlib static analysis
+#   3. go build     everything compiles
+#   4. go test -race  full test suite under the race detector
+#   5. dsalint      the domain-aware suite (internal/analysis): unit
+#                   consistency, float equality, seeded randomness, map-order
+#                   determinism, goroutine joins, dead assignments
+#
+# Run from the repository root: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> dsalint ./..."
+go run ./cmd/dsalint ./...
+
+echo "CI gate passed."

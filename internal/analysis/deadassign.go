@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeadAssign flags statements of the form `_ = x` that discard a non-error
+// value. Outside tests (benchmarks legitimately sink results to defeat
+// dead-code elimination) such discards are either leftovers from a refactor
+// or — worse — a computed physical quantity silently dropped on the floor.
+// Error values are exempt: `_ = f.Close()` is an explicit, idiomatic choice.
+var DeadAssign = &Analyzer{
+	Name: "deadassign",
+	Doc:  "flag `_ = x` discards of non-error values outside _test.go files",
+	Run:  runDeadAssign,
+}
+
+func runDeadAssign(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		x, ok := n.(*ast.AssignStmt)
+		if !ok || x.Tok != token.ASSIGN || len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := x.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name != "_" {
+			return true
+		}
+		if pass.IsTestFile(x.Pos()) {
+			return true
+		}
+		t := pass.TypeOf(x.Rhs[0])
+		if t == nil || isErrorType(t) {
+			return true
+		}
+		pass.Reportf(x.Pos(), "value of type %s discarded with `_ =`; use it or delete the statement", t)
+		return true
+	})
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

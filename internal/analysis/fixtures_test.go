@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureCases maps each pass to the fixture directories it runs over. Every
+// directory holds seeded violations (bad.go) next to clean counterparts
+// (good.go and exemption files), so a golden match asserts both the positive
+// and the negative behaviour of the pass.
+var fixtureCases = []struct {
+	analyzer *Analyzer
+	dirs     []string
+}{
+	{UnitCheck, []string{"unitcheck"}},
+	{FloatEq, []string{"floateq"}},
+	{RandSource, []string{"randsource", "randsource/internal/xrand"}},
+	{MapOrder, []string{"maporder"}},
+	{GoroLeak, []string{"goroleak/internal/synergy", "goroleak/other"}},
+	{DeadAssign, []string{"deadassign"}},
+}
+
+// loadFixtures loads the named testdata directories with a shared loader.
+func loadFixtures(t *testing.T, dirs ...string) []*Package {
+	t.Helper()
+	l, err := NewLoader("testdata", "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", d, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestPassFixtures runs each pass in isolation over its fixtures and
+// compares the findings with the checked-in golden file. Regenerate goldens
+// with DSALINT_UPDATE=1 go test ./internal/analysis.
+func TestPassFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkgs := loadFixtures(t, tc.dirs...)
+			r := &Runner{Analyzers: []*Analyzer{tc.analyzer}, Disabled: map[string]bool{}}
+			got := renderDiags(r.Run(pkgs))
+			if got == "" {
+				t.Fatalf("%s caught nothing; every pass must detect its seeded violations", tc.analyzer.Name)
+			}
+
+			golden := filepath.Join("testdata", tc.dirs[0], "expected.golden")
+			if os.Getenv("DSALINT_UPDATE") != "" {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with DSALINT_UPDATE=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixtureNegativesAreCovered asserts no finding ever points into a
+// good.go or *_test.go fixture file: the clean counterparts must stay clean.
+func TestFixtureNegativesAreCovered(t *testing.T) {
+	for _, tc := range fixtureCases {
+		pkgs := loadFixtures(t, tc.dirs...)
+		r := &Runner{Analyzers: []*Analyzer{tc.analyzer}, Disabled: map[string]bool{}}
+		for _, d := range r.Run(pkgs) {
+			base := filepath.Base(d.File)
+			if base == "good.go" || strings.HasSuffix(base, "_test.go") || strings.Contains(d.File, "other") || strings.Contains(d.File, "xrand") {
+				t.Errorf("%s flagged a clean fixture: %s", tc.analyzer.Name, d)
+			}
+		}
+	}
+}

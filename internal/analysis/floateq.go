@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point expressions. Measured
+// times, energies and model predictions are never exactly equal; exact
+// comparison either always fails or hides a tolerance that should be
+// explicit. Test files are exempt — that is where the repository's
+// tolerance helpers live and where exact-identity assertions (e.g. two
+// identically-seeded streams) are deliberate.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point expressions outside _test.go files",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		x, ok := n.(*ast.BinaryExpr)
+		if !ok || (x.Op != token.EQL && x.Op != token.NEQ) {
+			return true
+		}
+		if pass.IsTestFile(x.Pos()) {
+			return true
+		}
+		if !isFloat(pass.TypeOf(x.X)) || !isFloat(pass.TypeOf(x.Y)) {
+			return true
+		}
+		// A constant operand marks a sentinel check (`cfg.DT == 0` for
+		// "unset", division guards, `delta != 0` skip conditions): the other
+		// side was exactly assigned that constant, so identity is the
+		// intended semantics. The numerical-equality bug this pass hunts
+		// compares two computed values.
+		if isConstExpr(pass, x.X) || isConstExpr(pass, x.Y) {
+			return true
+		}
+		pass.Reportf(x.OpPos, "floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps)", x.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	if pass.Info == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak flags `go` statements in the concurrency-heavy packages
+// (internal/synergy, internal/cronos, internal/ml) whose enclosing function
+// contains no join — no sync.WaitGroup Wait, no channel receive, no range
+// over a channel. A worker that outlives its launcher in the solver or
+// measurement path races the next sweep's writes, which is precisely the
+// class of corruption `go test -race` only catches when the schedule
+// cooperates; statically requiring a visible join makes the discipline
+// unconditional.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flag go statements without a WaitGroup/channel join in the enclosing function (synergy, cronos, ml)",
+	Run:  runGoroLeak,
+}
+
+// goroLeakPackages are the package directories the pass polices.
+var goroLeakPackages = []string{"internal/synergy", "internal/cronos", "internal/ml"}
+
+func runGoroLeak(pass *Pass) {
+	policed := false
+	for _, dir := range goroLeakPackages {
+		if pass.Dir == dir || strings.HasSuffix(pass.ImportPath, "/"+dir) {
+			policed = true
+			break
+		}
+	}
+	if !policed {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, fn := range enclosingFuncs(f) {
+			checkGoroLeakFunc(pass, fn)
+		}
+	}
+}
+
+// checkGoroLeakFunc inspects one function body, ignoring nested function
+// literals (their go statements are charged to the literal itself).
+func checkGoroLeakFunc(pass *Pass, fn funcNode) {
+	var launches []*ast.GoStmt
+	joined := false
+	walkShallow(fn.body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			launches = append(launches, x)
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joined = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				joined = true // channel receive
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(pass, x.X) {
+				joined = true // draining a channel
+			}
+		}
+	})
+	if joined {
+		return
+	}
+	for _, g := range launches {
+		pass.Reportf(g.Pos(), "goroutine launched in %s with no WaitGroup Wait or channel join in the enclosing function", fn.name)
+	}
+}
+
+func isChanExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// walkShallow visits every node of body except the bodies of nested function
+// literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

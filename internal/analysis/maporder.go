@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body appends to a slice declared
+// outside the loop, unless the enclosing function later hands that slice to
+// a sort.* call. Go randomizes map iteration order, so such a slice is a
+// different permutation on every run; feed it to training, fitting or
+// serialization and the model (and every figure derived from it) becomes
+// nondeterministic. Sorting the accumulated slice — the repository's
+// standing idiom — restores a canonical order and silences the pass.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map-ordered slice accumulation that is not sorted before use",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, fn := range enclosingFuncs(f) {
+			checkMapOrderFunc(pass, fn)
+		}
+	}
+}
+
+func checkMapOrderFunc(pass *Pass, fn funcNode) {
+	// Collect the objects passed to sort.* anywhere in this function: those
+	// slices end up in canonical order regardless of how they were filled.
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := identObject(pass, arg); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return true
+		}
+		// Find appends inside the range body that grow an identifier
+		// declared outside the range statement.
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(asg.Lhs) {
+					continue
+				}
+				obj := identObject(pass, asg.Lhs[i])
+				if obj == nil || sorted[obj] {
+					continue
+				}
+				// Accumulators scoped inside the loop reset every
+				// iteration and cannot leak the map order.
+				if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+					continue
+				}
+				pass.Reportf(asg.Pos(),
+					"slice %s accumulates in map iteration order; sort it before use or iterate sorted keys", obj.Name())
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if pass.Info == nil {
+		return true
+	}
+	// Confirm it is the builtin, not a shadowing local.
+	if obj, ok := pass.Info.Uses[id]; ok {
+		_, builtin := obj.(*types.Builtin)
+		return builtin
+	}
+	return true
+}
+
+// identObject resolves an expression to the object of its base identifier,
+// unwrapping parens; returns nil for anything more complex.
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || pass.Info == nil {
+		return nil
+	}
+	if obj, ok := pass.Info.Uses[id]; ok {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

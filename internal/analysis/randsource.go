@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RandSource forbids math/rand (and math/rand/v2) everywhere except
+// internal/xrand. Every stochastic component of the stack draws from the
+// seeded, splittable xrand streams so characterization runs, training sets
+// and tests are bit-for-bit reproducible; math/rand's global source would
+// silently break that guarantee the moment any goroutine interleaving
+// changes.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "forbid math/rand outside internal/xrand; use the seeded xrand streams",
+	Run:  runRandSource,
+}
+
+func runRandSource(pass *Pass) {
+	if pass.ImportPath == "internal/xrand" || strings.HasSuffix(pass.ImportPath, "/internal/xrand") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/xrand; use the deterministic xrand streams", path)
+			}
+		}
+	}
+}

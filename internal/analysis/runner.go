@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Runner applies a pass suite to loaded packages, honours per-pass disables
+// and //dsalint:ignore suppressions, and returns findings in stable order.
+type Runner struct {
+	Analyzers []*Analyzer
+	// Disabled names passes to skip (keys are Analyzer.Name).
+	Disabled map[string]bool
+}
+
+// NewRunner builds a runner over the full built-in suite.
+func NewRunner() *Runner {
+	return &Runner{Analyzers: All(), Disabled: map[string]bool{}}
+}
+
+// Disable skips the named pass. Unknown names are reported so a typoed
+// -disable flag does not silently run the pass it meant to switch off.
+func (r *Runner) Disable(name string) error {
+	for _, a := range r.Analyzers {
+		if a.Name == name {
+			r.Disabled[name] = true
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: unknown pass %q", name)
+}
+
+// Run executes every enabled pass over every package and returns the
+// surviving findings sorted by position.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range r.Analyzers {
+			if r.Disabled[a.Name] {
+				continue
+			}
+			var found []Diagnostic
+			pass := &Pass{
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Dir:        pkg.Dir,
+				ImportPath: pkg.ImportPath,
+				Info:       pkg.Info,
+				analyzer:   a.Name,
+				diags:      &found,
+			}
+			a.Run(pass)
+			for _, d := range found {
+				if !ignores.suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// ignoreKey locates one //dsalint:ignore directive: the file and the source
+// line it applies to.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreSet maps suppressed lines to the pass names they suppress ("*" for
+// all passes).
+type ignoreSet map[ignoreKey]map[string]bool
+
+// suppressed reports whether d is covered by a directive.
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	passes, ok := s[ignoreKey{file: d.File, line: d.Line}]
+	if !ok {
+		return false
+	}
+	return passes["*"] || passes[d.Pass]
+}
+
+// collectIgnores scans every comment of the package for
+// `//dsalint:ignore <pass> [<pass>...]` directives. A trailing comment
+// suppresses findings on its own line; a standalone comment line suppresses
+// the line immediately below it. With no pass names the directive suppresses
+// every pass on that line.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//dsalint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				passes := map[string]bool{}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					passes["*"] = true
+				}
+				for _, p := range fields {
+					passes[p] = true
+				}
+				// Same-line (trailing comment) and next-line (directive
+				// above the flagged statement) both work.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := ignoreKey{file: pos.Filename, line: line}
+					if set[key] == nil {
+						set[key] = map[string]bool{}
+					}
+					for p := range passes {
+						set[key][p] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// inspect walks every file of the pass in source order, calling fn for each
+// node; returning false prunes the subtree.
+func inspect(pass *Pass, fn func(n ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// enclosingFuncs pairs each function body (declaration or literal) of a file
+// with its node, outermost first, for passes that reason per-function.
+func enclosingFuncs(f *ast.File) []funcNode {
+	var fns []funcNode
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				fns = append(fns, funcNode{name: fn.Name.Name, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			fns = append(fns, funcNode{name: "func literal", body: fn.Body})
+		}
+		return true
+	})
+	return fns
+}
+
+type funcNode struct {
+	name string
+	body *ast.BlockStmt
+}

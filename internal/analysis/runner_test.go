@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// allFixtureDirs yields every fixture package, producing findings from
+// several passes at once.
+var allFixtureDirs = []string{
+	"deadassign", "floateq", "maporder",
+	"goroleak/internal/synergy", "goroleak/other",
+	"randsource", "randsource/internal/xrand",
+	"suppress", "unitcheck",
+}
+
+func TestRunnerStableSortedOrder(t *testing.T) {
+	pkgs := loadFixtures(t, allFixtureDirs...)
+	r := NewRunner()
+
+	first := r.Run(pkgs)
+	if len(first) == 0 {
+		t.Fatal("full suite found nothing over the fixtures")
+	}
+	if !sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	}) {
+		t.Errorf("diagnostics not sorted by file/line/col/pass:\n%s", renderDiags(first))
+	}
+
+	// A second run over the same packages must reproduce the identical
+	// slice: no map-iteration order may leak into the report.
+	second := r.Run(pkgs)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("two runs disagree\n--- first ---\n%s--- second ---\n%s",
+			renderDiags(first), renderDiags(second))
+	}
+}
+
+func TestRunnerSuppression(t *testing.T) {
+	pkgs := loadFixtures(t, "suppress")
+	r := &Runner{Analyzers: []*Analyzer{DeadAssign}, Disabled: map[string]bool{}}
+	diags := r.Run(pkgs)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 surviving finding, got %d:\n%s", len(diags), renderDiags(diags))
+	}
+	if diags[0].Line != 13 {
+		t.Errorf("surviving finding at line %d, want the unsuppressed discard at line 13", diags[0].Line)
+	}
+}
+
+func TestRunnerDisable(t *testing.T) {
+	pkgs := loadFixtures(t, "suppress")
+	r := NewRunner()
+	if err := r.Disable("deadassign"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Run(pkgs) {
+		if d.Pass == "deadassign" {
+			t.Errorf("disabled pass still reported: %s", d)
+		}
+	}
+	if err := r.Disable("nosuchpass"); err == nil {
+		t.Error("disabling an unknown pass must fail loudly")
+	}
+}

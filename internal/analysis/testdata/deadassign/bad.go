@@ -1,0 +1,12 @@
+// Seeded deadassign violations: computed non-error values dropped with
+// a blank assignment.
+package fixture
+
+func totalEnergy() float64 { return 42.5 }
+
+func dropped() {
+	_ = totalEnergy() // computed quantity discarded
+
+	samples := []float64{1, 2, 3}
+	_ = samples // refactor leftover
+}

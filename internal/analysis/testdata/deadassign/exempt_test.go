@@ -1,0 +1,7 @@
+// Benchmarks sink results to defeat dead-code elimination; test files are
+// exempt.
+package fixture
+
+func sinkInBenchmark() {
+	_ = totalEnergy() // not flagged: _test.go
+}

@@ -1,0 +1,16 @@
+// Clean counterparts: discarding an error is an explicit choice, and
+// multi-value blanks select which results matter.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("nope") }
+
+func pair() (float64, error) { return 1.5, nil }
+
+func allowed() float64 {
+	_ = mayFail() // error discard is idiomatic
+
+	v, _ := pair() // multi-value blank is not a discard statement
+	return v
+}

@@ -1,0 +1,7 @@
+// Test files are exempt: tolerance helpers and deliberate exact-identity
+// assertions (identically seeded streams) live here.
+package fixture
+
+func streamsIdentical(a, b float64) bool {
+	return a == b // not flagged: _test.go
+}

@@ -1,0 +1,22 @@
+// Clean counterparts: sentinel checks against constants and explicit
+// tolerances are fine.
+package fixture
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sentinels(x float64) bool {
+	return x == 0 || x != 1 // constant operand: deliberate identity check
+}
+
+func withinTolerance(a, b float64) bool {
+	return abs(a-b) <= 1e-9
+}
+
+func intEquality(a, b int) bool {
+	return a == b // integers compare exactly
+}

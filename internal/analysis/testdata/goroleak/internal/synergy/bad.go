@@ -1,0 +1,11 @@
+// Seeded goroleak violation inside a policed package path: workers launched
+// with no join in the enclosing function.
+package synergy
+
+func fireAndForget(jobs []int) {
+	for _, j := range jobs {
+		go process(j) // never joined
+	}
+}
+
+func process(int) {}

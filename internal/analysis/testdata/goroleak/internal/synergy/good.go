@@ -1,0 +1,31 @@
+// Clean counterparts: WaitGroup join and channel join.
+package synergy
+
+import "sync"
+
+func waitGroupJoin(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			process(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+func channelJoin(jobs []int) int {
+	done := make(chan int, len(jobs))
+	for _, j := range jobs {
+		go func(j int) {
+			process(j)
+			done <- j
+		}(j)
+	}
+	sum := 0
+	for range jobs {
+		sum += <-done
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+// Seeded maporder violation: a training matrix accumulated in map
+// iteration order and handed off unsorted.
+package fixture
+
+func collectRows(byInput map[string][]float64) [][]float64 {
+	var rows [][]float64
+	for _, v := range byInput {
+		rows = append(rows, v) // map order leaks into the training set
+	}
+	return rows
+}

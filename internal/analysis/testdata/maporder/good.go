@@ -1,0 +1,37 @@
+// Clean counterparts: sort the accumulated slice (or the keys) before use,
+// or keep the accumulator loop-local.
+package fixture
+
+import "sort"
+
+func collectSortedKeys(byInput map[string][]float64) [][]float64 {
+	var keys []string
+	for k := range byInput {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // canonical order restored: not flagged
+	rows := make([][]float64, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, byInput[k])
+	}
+	return rows
+}
+
+func collectAndSortRows(totals map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range totals {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals) // not flagged
+	return vals
+}
+
+func loopLocal(byInput map[string][]float64) int {
+	n := 0
+	for _, v := range byInput {
+		var local []float64
+		local = append(local, v...) // loop-local accumulator: not flagged
+		n += len(local)
+	}
+	return n
+}

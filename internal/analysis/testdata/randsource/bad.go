@@ -1,0 +1,8 @@
+// Seeded randsource violation: math/rand outside internal/xrand.
+package fixture
+
+import "math/rand"
+
+func noise() float64 {
+	return rand.Float64() // nondeterministic global source
+}

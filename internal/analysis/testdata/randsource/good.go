@@ -1,0 +1,7 @@
+// Clean counterpart: deterministic arithmetic needs no random source.
+package fixture
+
+func deterministicNoise(seed uint64) float64 {
+	seed ^= seed << 13
+	return float64(seed%1000) / 1000
+}

@@ -1,0 +1,9 @@
+// internal/xrand is the one package allowed to touch math/rand (it wraps a
+// seeded source); the pass must stay quiet here.
+package xrand
+
+import "math/rand"
+
+func Wrapped(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

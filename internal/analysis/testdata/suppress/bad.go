@@ -1,0 +1,14 @@
+// Exercises //dsalint:ignore: one suppressed finding (standalone directive
+// above the line), one suppressed trailing, one surviving.
+package fixture
+
+func value() float64 { return 7 }
+
+func mixed() {
+	//dsalint:ignore deadassign
+	_ = value()
+
+	_ = value() //dsalint:ignore deadassign
+
+	_ = value() // survives: this is the only expected finding
+}

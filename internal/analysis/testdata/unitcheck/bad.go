@@ -1,0 +1,37 @@
+// Seeded unitcheck violations: arithmetic, comparison, assignment and
+// composite-literal mixes across unit families.
+package fixture
+
+type measurement struct {
+	TimeS   float64
+	TimeMs  float64
+	EnergyJ float64
+	PowerW  float64
+	FreqMHz int
+	FreqHz  int
+}
+
+func mixedArithmetic(m measurement) float64 {
+	total := m.TimeS + m.TimeMs   // seconds + milliseconds
+	drift := m.EnergyJ - m.PowerW // energy - power
+	return total + drift
+}
+
+func mixedComparison(m measurement) bool {
+	return m.FreqMHz > m.FreqHz // MHz vs Hz
+}
+
+func mixedAssign(m measurement) (float64, int) {
+	var tMs float64
+	tMs = m.TimeS // seconds value into a milliseconds variable
+	freqHz := 0
+	freqHz = m.FreqMHz // MHz value into a Hz variable
+	return tMs, freqHz
+}
+
+func mixedLiteral(m measurement) measurement {
+	return measurement{
+		FreqMHz: m.FreqHz, // Hz value into a MHz field
+		TimeS:   m.TimeMs, // milliseconds value into a seconds field
+	}
+}

@@ -1,0 +1,19 @@
+// Clean counterparts: same-unit arithmetic, ratios, cross-dimension
+// products and named conversions are all allowed.
+package fixture
+
+func secondsToMs(s float64) float64 { return s * 1e3 }
+
+func mhzToHz(f int) int { return f * 1e6 }
+
+func cleanUsage(a, b measurement) (float64, bool) {
+	elapsed := a.TimeS + b.TimeS // same unit
+	speedup := a.TimeS / b.TimeS // ratio erases the unit
+	energy := a.PowerW * a.TimeS // cross-dimension product (W*s = J)
+	var tMs float64
+	tMs = secondsToMs(a.TimeS)         // named conversion
+	freqHz := mhzToHz(a.FreqMHz)       // named conversion
+	scaled := float64(a.FreqMHz) * 1e6 // multiplication erases the unit
+	ok := a.FreqHz > freqHz && elapsed > 0 && scaled > 0
+	return speedup + energy + tMs, ok
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitCheck flags arithmetic and assignments mixing identifier families that
+// carry different physical units. The repository's convention (inherited
+// from the paper's measurement stack) encodes units in identifier suffixes —
+// FreqMHz, TimeS, EnergyJ, PowerW, durMs — and silent MHz/Hz or J/mJ mixups
+// corrupt every model downstream while remaining type-correct Go. The pass
+// performs a lightweight dimensional analysis: addition, subtraction and
+// comparison require identical unit and scale; multiplication and division
+// are exempt (cross-dimension products like W·s are physically meaningful
+// and scalar rescaling is how named conversions work).
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag arithmetic mixing identifiers with different unit suffixes (MHz/Hz, J/mJ, W, s/ms)",
+	Run:  runUnitCheck,
+}
+
+// unit is a recognized physical unit: a dimension and a scale relative to
+// the dimension's SI base.
+type unit struct {
+	dim   string
+	scale float64
+}
+
+func (u unit) String() string { return u.dim + unitScaleName(u.scale) }
+
+func unitScaleName(s float64) string {
+	switch s {
+	case 1:
+		return ""
+	case 1e9:
+		return "(giga)"
+	case 1e6:
+		return "(mega)"
+	case 1e3:
+		return "(kilo)"
+	case 1e-3:
+		return "(milli)"
+	case 1e-6:
+		return "(micro)"
+	case 1e-9:
+		return "(nano)"
+	}
+	return ""
+}
+
+// camelUnitSuffixes maps camel-case identifier suffixes to units, longest
+// match first. A suffix only counts when preceded by a lower-case letter,
+// digit or underscore (the end of the previous camel word), so RMS does not
+// read as seconds.
+var camelUnitSuffixes = []struct {
+	suffix string
+	unit   unit
+}{
+	{"Seconds", unit{"time", 1}},
+	{"Joules", unit{"energy", 1}},
+	{"Watts", unit{"power", 1}},
+	{"Secs", unit{"time", 1}},
+	{"Sec", unit{"time", 1}},
+	{"GHz", unit{"frequency", 1e9}},
+	{"MHz", unit{"frequency", 1e6}},
+	{"KHz", unit{"frequency", 1e3}},
+	{"Hz", unit{"frequency", 1}},
+	{"MJ", unit{"energy", 1e6}},
+	{"mJ", unit{"energy", 1e-3}},
+	{"uJ", unit{"energy", 1e-6}},
+	{"kJ", unit{"energy", 1e3}},
+	{"KJ", unit{"energy", 1e3}},
+	{"MW", unit{"power", 1e6}},
+	{"mW", unit{"power", 1e-3}},
+	{"kW", unit{"power", 1e3}},
+	{"KW", unit{"power", 1e3}},
+	{"Ms", unit{"time", 1e-3}},
+	{"Us", unit{"time", 1e-6}},
+	{"Ns", unit{"time", 1e-9}},
+	{"J", unit{"energy", 1}},
+	{"W", unit{"power", 1}},
+	{"S", unit{"time", 1}},
+}
+
+// wholeWordUnits match a complete lower-case identifier (parameters and
+// locals like mhz, ms, joules). Single letters are excluded: j, s and w are
+// ordinary loop and scratch variables.
+var wholeWordUnits = map[string]unit{
+	"ghz": {"frequency", 1e9}, "mhz": {"frequency", 1e6}, "khz": {"frequency", 1e3}, "hz": {"frequency", 1},
+	"joules": {"energy", 1}, "mj": {"energy", 1e-3}, "uj": {"energy", 1e-6},
+	"watts": {"power", 1}, "mw": {"power", 1e-3}, "kw": {"power", 1e3},
+	"seconds": {"time", 1}, "secs": {"time", 1}, "sec": {"time", 1},
+	"ms": {"time", 1e-3}, "us": {"time", 1e-6}, "ns": {"time", 1e-9},
+}
+
+// unitOfName derives the unit an identifier carries, if any.
+func unitOfName(name string) (unit, bool) {
+	if u, ok := wholeWordUnits[name]; ok {
+		return u, true
+	}
+	for _, s := range camelUnitSuffixes {
+		if !strings.HasSuffix(name, s.suffix) {
+			continue
+		}
+		i := len(name) - len(s.suffix)
+		if i == 0 {
+			continue // the bare suffix as a full name is handled above
+		}
+		prev := rune(name[i-1])
+		first := rune(s.suffix[0])
+		if first >= 'a' && first <= 'z' {
+			// A lowercase-leading suffix (mJ, kW) is indistinguishable from
+			// the interior of a camel word ("leakW" is leak+W, not lea+kW);
+			// require an explicit snake/digit boundary.
+			if prev == '_' || (prev >= '0' && prev <= '9') {
+				return s.unit, true
+			}
+			continue
+		}
+		if prev == '_' || (prev >= 'a' && prev <= 'z') || (prev >= '0' && prev <= '9') {
+			return s.unit, true
+		}
+	}
+	return unit{}, false
+}
+
+// unitOf derives the unit an expression carries, if any. Multiplication and
+// division erase the unit (rescaling and cross-dimension products are legal);
+// addition and subtraction preserve it.
+func unitOf(e ast.Expr) (unit, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return unitOfName(x.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(x.Sel.Name)
+	case *ast.CallExpr:
+		// A call carries the unit its name declares: BaselineFreqMHz(),
+		// toSeconds(x). This is also what makes a named conversion the
+		// sanctioned way to cross units.
+		switch fn := x.Fun.(type) {
+		case *ast.Ident:
+			return unitOfName(fn.Name)
+		case *ast.SelectorExpr:
+			return unitOfName(fn.Sel.Name)
+		}
+		return unit{}, false
+	case *ast.ParenExpr:
+		return unitOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return unitOf(x.X)
+		}
+		return unit{}, false
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			lu, lok := unitOf(x.X)
+			ru, rok := unitOf(x.Y)
+			switch {
+			case lok && rok && lu == ru:
+				return lu, true
+			case lok && !rok:
+				return lu, true
+			case rok && !lok:
+				return ru, true
+			}
+		}
+		return unit{}, false
+	}
+	return unit{}, false
+}
+
+var unitMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runUnitCheck(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if !unitMixOps[x.Op] {
+				return true
+			}
+			lu, lok := unitOf(x.X)
+			ru, rok := unitOf(x.Y)
+			if lok && rok && lu != ru {
+				pass.Reportf(x.OpPos, "unit mismatch: %s %s %s (use a named conversion)", lu, x.Op, ru)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				reportUnitAssign(pass, lhs, x.Rhs[i], x.TokPos)
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if i < len(x.Values) {
+					reportUnitAssign(pass, name, x.Values[i], name.Pos())
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := x.Key.(*ast.Ident); ok {
+				reportUnitAssign(pass, key, x.Value, x.Colon)
+			}
+		}
+		return true
+	})
+}
+
+// reportUnitAssign flags lhs = rhs when both sides carry known, different
+// units. A top-level call on the right is a named conversion and carries the
+// unit of its own name, so MHzToHz(f) assigned to a *Hz variable is clean.
+func reportUnitAssign(pass *Pass, lhs, rhs ast.Expr, pos token.Pos) {
+	lu, lok := unitOf(lhs)
+	if !lok {
+		return
+	}
+	ru, rok := unitOf(rhs)
+	if !rok || lu == ru {
+		return
+	}
+	pass.Reportf(pos, "unit mismatch: assigning %s value to %s variable (use a named conversion)", ru, lu)
+}

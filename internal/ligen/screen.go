@@ -69,6 +69,8 @@ func Screen(lib *Library, target *Pocket, params Params, workers int, seed uint6
 	// Rank the library by interaction strength, ties broken by index so the
 	// output is total-ordered.
 	sort.Slice(results, func(i, j int) bool {
+		// Exact stored-value tie-break, not a numerical comparison.
+		//dsalint:ignore floateq
 		if results[i].Score != results[j].Score {
 			return results[i].Score > results[j].Score
 		}

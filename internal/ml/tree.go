@@ -78,7 +78,9 @@ func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode
 			sumSqL += v * v
 			sumR -= v
 			sumSqR -= v * v
-			// Can't split between equal feature values.
+			// Can't split between equal feature values (exact stored-value
+			// identity of adjacent sorted entries, not a tolerance check).
+			//dsalint:ignore floateq
 			if X[sorted[i]][f] == X[sorted[i+1]][f] {
 				continue
 			}

@@ -39,9 +39,13 @@ func Front(points []Point) []Point {
 	// Sort by speedup descending; ties by energy ascending, then frequency
 	// ascending, so the scan below keeps the preferred representative.
 	sort.Slice(sorted, func(i, j int) bool {
+		// Exact stored-value tie-breaks: identical predictions must compare
+		// equal so the comparator stays a strict weak ordering.
+		//dsalint:ignore floateq
 		if sorted[i].Speedup != sorted[j].Speedup {
 			return sorted[i].Speedup > sorted[j].Speedup
 		}
+		//dsalint:ignore floateq
 		if sorted[i].NormEnergy != sorted[j].NormEnergy {
 			return sorted[i].NormEnergy < sorted[j].NormEnergy
 		}
@@ -52,6 +56,9 @@ func Front(points []Point) []Point {
 	lastSpeedup := math.Inf(1)
 	for _, p := range sorted {
 		// Strictly lower energy than everything faster -> non-dominated.
+		// lastSpeedup is copied verbatim from a scanned point, so exact
+		// identity is the correct same-speedup-group test.
+		//dsalint:ignore floateq
 		if p.NormEnergy < bestEnergy && p.Speedup != lastSpeedup {
 			front = append(front, p)
 			bestEnergy = p.NormEnergy

@@ -96,14 +96,12 @@ func OnlineSearch(q *synergy.Queue, w synergy.Workload, freqs []int, reps int, p
 			lo, hi = m1, m2
 		}
 	}
-	// Exhaustive refinement of the final window.
-	var window []core.CurvePoint
+	// Exhaustive refinement of the final window: probe whatever the interval
+	// reduction has not visited yet, recording each point in `measured`.
 	for idx := lo; idx <= hi; idx++ {
-		p, err := probe(table[idx])
-		if err != nil {
+		if _, err := probe(table[idx]); err != nil {
 			return OnlineResult{}, err
 		}
-		window = append(window, p)
 	}
 	// Include everything measured so far: the policy picks the global best
 	// observation, as a real governor's history table would.
@@ -113,7 +111,6 @@ func OnlineSearch(q *synergy.Queue, w synergy.Workload, freqs []int, reps int, p
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].FreqMHz < all[j].FreqMHz })
 	res.Choice = policy.Select(all)
-	_ = window
 	return res, nil
 }
 

@@ -38,8 +38,9 @@ func (MaxPerformance) Name() string { return "max-performance" }
 func (MaxPerformance) Select(curve []core.CurvePoint) core.CurvePoint {
 	best := curve[0]
 	for _, c := range curve[1:] {
+		// Exact stored-value tie-break between curve points.
 		if c.Speedup > best.Speedup ||
-			(c.Speedup == best.Speedup && c.NormEnergy < best.NormEnergy) {
+			(c.Speedup == best.Speedup && c.NormEnergy < best.NormEnergy) { //dsalint:ignore floateq
 			best = c
 		}
 	}
@@ -57,8 +58,9 @@ func (MinEnergy) Name() string { return "min-energy" }
 func (MinEnergy) Select(curve []core.CurvePoint) core.CurvePoint {
 	best := curve[0]
 	for _, c := range curve[1:] {
+		// Exact stored-value tie-break between curve points.
 		if c.NormEnergy < best.NormEnergy ||
-			(c.NormEnergy == best.NormEnergy && c.Speedup > best.Speedup) {
+			(c.NormEnergy == best.NormEnergy && c.Speedup > best.Speedup) { //dsalint:ignore floateq
 			best = c
 		}
 	}
