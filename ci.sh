@@ -31,6 +31,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The resilience layer's retry/requeue concurrency is where a scheduling race
+# would hide: run its packages twice under the race detector so goroutine
+# interleavings get a second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster"
+go test -race -count=2 ./internal/faults ./internal/cluster
+
 echo "==> dsalint ./..."
 go run ./cmd/dsalint ./...
 

@@ -2,6 +2,7 @@ package dsenergy
 
 import (
 	"dsenergy/internal/cluster"
+	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 )
 
@@ -16,6 +17,34 @@ type (
 	// ClusterResult is a distributed run's outcome.
 	ClusterResult = cluster.Result
 )
+
+// Seeded fault injection and resilient execution. A FaultPlan describes the
+// faults a campaign will encounter — deterministically, from its seed — and
+// ResilienceConfig describes how the cluster survives them (retry budgets,
+// checkpoint interval, shard granularity). Attach both with
+// Cluster.SetFaultPlan before running; an empty plan leaves execution
+// bit-identical to a fault-free run.
+type (
+	// FaultPlan is a seeded, deterministic schedule of injected faults.
+	FaultPlan = faults.Plan
+	// DeviceFailure permanently kills one device after a submission count.
+	DeviceFailure = faults.DeviceFailure
+	// ThermalThrottle caps one device's effective clock over a submission window.
+	ThermalThrottle = faults.Throttle
+	// ClockReject makes one device refuse a specific SetCoreFreq call.
+	ClockReject = faults.ClockReject
+	// ResilienceConfig tunes retries, backoff, checkpointing and sharding.
+	ResilienceConfig = cluster.ResilienceConfig
+)
+
+// DefaultResilienceConfig returns the documented resilience defaults.
+func DefaultResilienceConfig() ResilienceConfig { return cluster.DefaultResilienceConfig() }
+
+// IsTransientFault reports whether err is a retryable injected fault.
+func IsTransientFault(err error) bool { return faults.IsTransient(err) }
+
+// IsPermanentFault reports whether err is a permanent device loss.
+func IsPermanentFault(err error) bool { return faults.IsPermanent(err) }
 
 // DefaultInterconnect returns an InfiniBand-class fabric.
 func DefaultInterconnect() Interconnect { return cluster.DefaultInterconnect() }

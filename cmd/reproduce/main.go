@@ -150,6 +150,9 @@ func main() {
 		}
 		return nil
 	})
+	write("resilience.txt", func(f *os.File) error {
+		return cfg.RenderResilience(f)
+	})
 	// Machine-checkable verification of every headline claim.
 	var failed int
 	write("shapechecks.txt", func(f *os.File) error {

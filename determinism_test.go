@@ -8,6 +8,7 @@ package dsenergy_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"dsenergy"
@@ -69,6 +70,82 @@ func characterize(t *testing.T, seed uint64) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// resilientRun executes one fault-injected cluster campaign (both apps) and
+// serializes every Result field, resilience accounting included.
+func resilientRun(t *testing.T, clusterSeed, faultSeed uint64) []byte {
+	t.Helper()
+	c, err := dsenergy.NewCluster(clusterSeed, dsenergy.V100Spec(), 4, dsenergy.DefaultInterconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := dsenergy.FaultPlan{
+		Seed:          faultSeed,
+		TransientProb: 0.02,
+		Failures:      []dsenergy.DeviceFailure{{Device: 3, AfterSubmits: 9}},
+		Throttles:     []dsenergy.ThermalThrottle{{Device: 1, FromSubmit: 5, ToSubmit: 20, CapMHz: 1000}},
+	}
+	if err := c.SetFaultPlan(plan, dsenergy.DefaultResilienceConfig()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lr, err := c.ScreenLiGen(dsenergy.LiGenInput{Ligands: 1024, Atoms: 63, Fragments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := c.RunCronos(32, 16, 16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "%+v\n%+v\n", lr, cr)
+	return buf.Bytes()
+}
+
+// TestFaultInjectionSeedDeterminism pins injected faults into the same
+// determinism contract as measurement noise: identical seeds must reproduce
+// the same faults, the same recoveries and byte-identical results — which is
+// what makes a failure scenario replayable for debugging.
+func TestFaultInjectionSeedDeterminism(t *testing.T) {
+	first := resilientRun(t, 42, 7)
+	second := resilientRun(t, 42, 7)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("identically seeded faulty runs diverged\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if other := resilientRun(t, 42, 8); bytes.Equal(first, other) {
+		t.Fatal("different fault seeds produced identical results; fault draws are not seeded")
+	}
+}
+
+// TestEmptyFaultPlanPreservesFaultFreeResults locks in the other half of the
+// contract: attaching an empty plan must leave results bit-identical to a
+// cluster that never heard of fault injection.
+func TestEmptyFaultPlanPreservesFaultFreeResults(t *testing.T) {
+	run := func(attach bool) []byte {
+		c, err := dsenergy.NewCluster(42, dsenergy.V100Spec(), 4, dsenergy.DefaultInterconnect())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			if err := c.SetFaultPlan(dsenergy.FaultPlan{Seed: 7}, dsenergy.DefaultResilienceConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lr, err := c.ScreenLiGen(dsenergy.LiGenInput{Ligands: 1024, Atoms: 63, Fragments: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := c.RunCronos(32, 16, 16, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "%+v\n%+v\n", lr, cr)
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Fatal("an empty fault plan changed fault-free results")
+	}
 }
 
 func TestCharacterizationSeedDeterminism(t *testing.T) {

@@ -62,4 +62,38 @@ func main() {
 	fmt.Printf("cluster at %d MHz: %.3fs (%+.1f%% time), %.0fJ vs %.0fJ (%.0f%% energy saved)\n",
 		low, cnLow.TimeS, (cnLow.TimeS/cn.TimeS-1)*100,
 		cnLow.EnergyJ, cn.EnergyJ, (1-cnLow.EnergyJ/cn.EnergyJ)*100)
+
+	// --- Fault injection: the same campaign under failure conditions ---
+	// One device dies mid-campaign, another spends a stretch thermally
+	// throttled, and 1% of kernels fault transiently. The cluster retries,
+	// requeues the dead device's shards, checkpoints and restarts Cronos —
+	// and reports what surviving cost.
+	faulty, err := dsenergy.NewCluster(42, dsenergy.V100Spec(), devices, dsenergy.DefaultInterconnect())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := dsenergy.FaultPlan{
+		Seed:          7,
+		TransientProb: 0.01,
+		Failures:      []dsenergy.DeviceFailure{{Device: 3, AfterSubmits: 8}},
+		Throttles:     []dsenergy.ThermalThrottle{{Device: 1, FromSubmit: 5, ToSubmit: 30, CapMHz: 1005}},
+	}
+	if err := faulty.SetFaultPlan(plan, dsenergy.DefaultResilienceConfig()); err != nil {
+		log.Fatal(err)
+	}
+	rf, err := faulty.ScreenLiGen(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LiGen under faults: %.2fs (%+.1f%% vs clean), %d retries, %d failover, %d/%d devices, wasted %.0fJ\n",
+		rf.TimeS, (rf.TimeS/rn.TimeS-1)*100, rf.Retries, rf.Failovers,
+		rf.SurvivingDevices, devices, rf.WastedEnergyJ)
+	// The dead device stays dead: the follow-up Cronos run starts degraded
+	// on the 7 survivors and still checkpoints against further faults.
+	cf, err := faulty.RunCronos(160, 64, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cronos under faults: %.3fs (%+.1f%% vs clean) on %d devices, checkpoint overhead %.3fs\n",
+		cf.TimeS, (cf.TimeS/cn.TimeS-1)*100, cf.SurvivingDevices, cf.CheckpointTimeS)
 }

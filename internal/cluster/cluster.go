@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dsenergy/internal/cronos"
+	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/kernels"
 	"dsenergy/internal/ligen"
@@ -42,9 +43,16 @@ func DefaultInterconnect() Interconnect {
 type Cluster struct {
 	queues []*synergy.Queue
 	net    Interconnect
+	// inj is non-nil when a non-empty fault plan is attached; it switches
+	// RunCronos/ScreenLiGen onto the resilient execution path.
+	inj  *faults.Injector
+	rc   ResilienceConfig
+	dead []bool
 }
 
-// New builds an n-device homogeneous cluster of the given spec.
+// New builds an n-device homogeneous cluster of the given spec. Devices are
+// renamed "<name> #i" so every node stays individually addressable (the
+// platform rejects duplicate device names).
 func New(seed uint64, spec gpusim.Spec, n int, net Interconnect) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 device, got %d", n)
@@ -55,12 +63,13 @@ func New(seed uint64, spec gpusim.Spec, n int, net Interconnect) (*Cluster, erro
 	specs := make([]gpusim.Spec, n)
 	for i := range specs {
 		specs[i] = spec
+		specs[i].Name = fmt.Sprintf("%s #%d", spec.Name, i)
 	}
 	p, err := synergy.NewPlatform(seed, specs...)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{queues: p.Queues(), net: net}, nil
+	return &Cluster{queues: p.Queues(), net: net, dead: make([]bool, n)}, nil
 }
 
 // Size returns the device count.
@@ -69,22 +78,53 @@ func (c *Cluster) Size() int { return len(c.queues) }
 // Queues exposes the device queues (e.g. for frequency control).
 func (c *Cluster) Queues() []*synergy.Queue { return c.queues }
 
-// SetCoreFreqMHz pins every device to the same clock.
+// SetCoreFreqMHz pins every device to the same clock, all-or-nothing: if any
+// device rejects the set, devices already pinned are rolled back to their
+// previous clock and the error is returned. Without the rollback a partial
+// failure would leave the cluster at mixed clocks, silently corrupting every
+// bulk-synchronous timing downstream.
 func (c *Cluster) SetCoreFreqMHz(mhz int) error {
-	for _, q := range c.queues {
-		if err := q.SetCoreFreqMHz(mhz); err != nil {
-			return err
+	prev := make([]int, len(c.queues))
+	for i, q := range c.queues {
+		prev[i] = q.PinnedFreqMHz()
+	}
+	for i, q := range c.queues {
+		err := q.SetCoreFreqMHz(mhz)
+		if err == nil {
+			continue
 		}
+		for j := i - 1; j >= 0; j-- {
+			if prev[j] == 0 {
+				c.queues[j].ResetFrequency()
+			} else if rbErr := c.queues[j].SetCoreFreqMHz(prev[j]); rbErr != nil {
+				// Best effort: a device that cannot take its old clock back
+				// (e.g. it just died) is reset to the vendor baseline.
+				c.queues[j].ResetFrequency()
+			}
+		}
+		return fmt.Errorf("cluster: device %d rejected %d MHz (cluster rolled back): %w", i, mhz, err)
 	}
 	return nil
 }
 
-// Result is a distributed run's outcome.
+// Result is a distributed run's outcome. The resilience fields make the cost
+// of surviving faults a first-class, measurable time/energy trade-off: a
+// fault-free run reports zeros there, a faulty run reports how much of its
+// bill was retries, failovers, checkpoints and re-executed work.
 type Result struct {
 	TimeS     float64   // wall time (slowest device, including communication)
-	EnergyJ   float64   // total energy across devices
+	EnergyJ   float64   // total energy across devices (wasted energy included)
 	CommTimeS float64   // communication time on the critical path
-	PerDevice []float64 // per-device compute time
+	PerDevice []float64 // per-device busy time (dead devices keep their partial total)
+
+	// Resilience accounting (all zero on fault-free runs).
+	Retries          int     // transient-fault retries performed
+	Failovers        int     // permanent device losses survived
+	SurvivingDevices int     // devices alive at the end of the run
+	WastedTimeS      float64 // device time burned on work that was aborted or re-executed
+	WastedEnergyJ    float64 // energy burned on that wasted work
+	BackoffTimeS     float64 // cumulative retry backoff across devices
+	CheckpointTimeS  float64 // checkpoint write/restore overhead on the critical path
 }
 
 // Efficiency returns the strong-scaling efficiency of this run against a
@@ -105,6 +145,9 @@ func (c *Cluster) RunCronos(nx, ny, nz, steps int) (Result, error) {
 	if nz < n {
 		return Result{}, fmt.Errorf("cluster: cannot split %d z-planes across %d devices", nz, n)
 	}
+	if c.inj != nil {
+		return c.runCronosResilient(nx, ny, nz, steps)
+	}
 
 	// Halo exchange per substep: Ghost planes of all variables, both
 	// directions (interior devices have two neighbours).
@@ -115,6 +158,7 @@ func (c *Cluster) RunCronos(nx, ny, nz, steps int) (Result, error) {
 
 	var res Result
 	res.PerDevice = make([]float64, n)
+	res.SurvivingDevices = n
 	var slowest float64
 	for i, q := range c.queues {
 		// Slab sizes differ by at most one plane.
@@ -156,8 +200,12 @@ func (c *Cluster) ScreenLiGen(in ligen.Input) (Result, error) {
 	if in.Ligands < n {
 		return Result{}, fmt.Errorf("cluster: cannot shard %d ligands across %d devices", in.Ligands, n)
 	}
+	if c.inj != nil {
+		return c.screenLiGenResilient(in)
+	}
 	var res Result
 	res.PerDevice = make([]float64, n)
+	res.SurvivingDevices = n
 	var slowest float64
 	for i, q := range c.queues {
 		shard := in

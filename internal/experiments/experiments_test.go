@@ -594,3 +594,40 @@ func TestFig7And9MI100Shapes(t *testing.T) {
 		prev = bp.TimeS
 	}
 }
+
+func TestResilienceStudy(t *testing.T) {
+	rows, err := testConfig().Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FaultFree.Retries != 0 || r.FaultFree.Failovers != 0 || r.FaultFree.WastedEnergyJ != 0 {
+			t.Errorf("%s: fault-free run reports recovery costs: %+v", r.App, r.FaultFree)
+		}
+		if r.Faulty.Failovers != 1 || r.Faulty.SurvivingDevices != 3 {
+			t.Errorf("%s: failovers/surviving = %d/%d, want 1/3", r.App, r.Faulty.Failovers, r.Faulty.SurvivingDevices)
+		}
+		// Wall time always suffers. Energy may go either way: the thermal
+		// throttle runs a device at a lower, more efficient clock, which can
+		// outweigh the wasted re-executed work — the same time/energy
+		// trade-off the frequency studies measure, arrived at by accident.
+		if r.TimeOverhead() <= 0 {
+			t.Errorf("%s: surviving faults must cost wall time, got %+.2f%%", r.App, r.TimeOverhead()*100)
+		}
+		if r.Faulty.WastedEnergyJ <= 0 {
+			t.Errorf("%s: faulty run reports no wasted energy", r.App)
+		}
+	}
+	var buf bytes.Buffer
+	if err := testConfig().RenderResilience(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resilience", "ligen", "cronos", "failovers", "checkpoint"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("render output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

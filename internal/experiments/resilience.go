@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dsenergy/internal/cluster"
+	"dsenergy/internal/faults"
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/ligen"
+)
+
+// ResilienceRow compares one application's fault-free and fault-injected run
+// on the same cluster configuration.
+type ResilienceRow struct {
+	App       string
+	FaultFree cluster.Result
+	Faulty    cluster.Result
+}
+
+// TimeOverhead is the wall-time cost of surviving the fault plan, relative
+// to the fault-free run.
+func (r ResilienceRow) TimeOverhead() float64 {
+	if r.FaultFree.TimeS <= 0 {
+		return 0
+	}
+	return r.Faulty.TimeS/r.FaultFree.TimeS - 1
+}
+
+// EnergyOverhead is the energy cost of surviving the fault plan.
+func (r ResilienceRow) EnergyOverhead() float64 {
+	if r.FaultFree.EnergyJ <= 0 {
+		return 0
+	}
+	return r.Faulty.EnergyJ/r.FaultFree.EnergyJ - 1
+}
+
+// Resilience runs both applications on a 4-device V100 cluster twice — once
+// fault-free and once under a seeded fault plan with transient kernel
+// faults, a thermal-throttle window and one permanent mid-campaign device
+// loss — and reports the measured cost of surviving: extra wall time, extra
+// energy, and where it went (retries, backoff, checkpoints, wasted work).
+// This extends the paper's time/energy trade-off to the failure conditions
+// any campaign at EXSCALATE scale actually runs under.
+func (c Config) Resilience() ([]ResilienceRow, error) {
+	const devices = 4
+	in := ligen.Input{Ligands: 16384, Atoms: 63, Fragments: 8}
+	grid := [3]int{160, 64, 64}
+	// Device 2 dies early enough to hit both campaigns (a LiGen shard is 3
+	// submissions, a Cronos step is 4); device 0 spends a stretch of each
+	// campaign thermally throttled.
+	plan := faults.Plan{
+		Seed:          c.Seed + 1,
+		TransientProb: 0.01,
+		Failures:      []faults.DeviceFailure{{Device: 2, AfterSubmits: 9}},
+		Throttles:     []faults.Throttle{{Device: 0, FromSubmit: 4, ToSubmit: 12, CapMHz: 1005}},
+	}
+
+	run := func(p faults.Plan) (lr, cr cluster.Result, err error) {
+		// LiGen and Cronos each get a fresh cluster so the device loss hits
+		// both campaigns at the same point.
+		cl, err := cluster.New(c.Seed, gpusim.V100Spec(), devices, cluster.DefaultInterconnect())
+		if err != nil {
+			return lr, cr, err
+		}
+		if err := cl.SetFaultPlan(p, cluster.DefaultResilienceConfig()); err != nil {
+			return lr, cr, err
+		}
+		if lr, err = cl.ScreenLiGen(in); err != nil {
+			return lr, cr, err
+		}
+		cl, err = cluster.New(c.Seed, gpusim.V100Spec(), devices, cluster.DefaultInterconnect())
+		if err != nil {
+			return lr, cr, err
+		}
+		if err := cl.SetFaultPlan(p, cluster.DefaultResilienceConfig()); err != nil {
+			return lr, cr, err
+		}
+		cr, err = cl.RunCronos(grid[0], grid[1], grid[2], c.CronosSteps)
+		return lr, cr, err
+	}
+
+	cleanL, cleanC, err := run(faults.Plan{})
+	if err != nil {
+		return nil, err
+	}
+	faultyL, faultyC, err := run(plan)
+	if err != nil {
+		return nil, err
+	}
+	return []ResilienceRow{
+		{App: "ligen", FaultFree: cleanL, Faulty: faultyL},
+		{App: "cronos", FaultFree: cleanC, Faulty: faultyC},
+	}, nil
+}
+
+// RenderResilience runs and prints the resilience study.
+func (c Config) RenderResilience(w io.Writer) error {
+	rows, err := c.Resilience()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== resilience: cost of surviving faults (4x V100) ==")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s:\n", r.App)
+		fmt.Fprintf(w, "   fault-free: %.3f s, %.1f J\n", r.FaultFree.TimeS, r.FaultFree.EnergyJ)
+		fmt.Fprintf(w, "   faulty:     %.3f s, %.1f J  (%+.1f%% time, %+.1f%% energy)\n",
+			r.Faulty.TimeS, r.Faulty.EnergyJ, r.TimeOverhead()*100, r.EnergyOverhead()*100)
+		fmt.Fprintf(w, "   recovery:   %d retries, %d failovers, %d/%d devices survived\n",
+			r.Faulty.Retries, r.Faulty.Failovers, r.Faulty.SurvivingDevices, len(r.Faulty.PerDevice))
+		fmt.Fprintf(w, "   overheads:  wasted %.3f s / %.1f J, backoff %.3f s, checkpoint %.3f s\n",
+			r.Faulty.WastedTimeS, r.Faulty.WastedEnergyJ, r.Faulty.BackoffTimeS, r.Faulty.CheckpointTimeS)
+	}
+	return nil
+}

@@ -186,6 +186,17 @@ func (s Spec) FreqsAbove(frac float64) []int {
 	return out
 }
 
+// FloorFreqMHz returns the highest table frequency at or below mhz, or the
+// lowest table frequency when mhz is below the whole table — a governor
+// enforcing a cap cannot stop the clock entirely.
+func (s Spec) FloorFreqMHz(mhz int) int {
+	i := sort.SearchInts(s.CoreFreqsMHz, mhz+1)
+	if i == 0 {
+		return s.CoreFreqsMHz[0]
+	}
+	return s.CoreFreqsMHz[i-1]
+}
+
 // HasFreq reports whether mhz is a selectable core frequency.
 func (s Spec) HasFreq(mhz int) bool {
 	i := sort.SearchInts(s.CoreFreqsMHz, mhz)
@@ -316,6 +327,12 @@ func (d *Device) throttledFreq(p kernels.Profile, mhz int) int {
 // this device, in joules. The synergy layer reads it before and after a
 // submission to attribute energy to kernels.
 func (d *Device) EnergyCounterJ() float64 { return d.energyJ }
+
+// AddEnergyJ advances the cumulative energy counter by the given joules.
+// The synergy layer uses it to charge the partial execution of submissions
+// aborted by an injected fault: the work is wasted, but the board still
+// burned the energy and real counters would show it.
+func (d *Device) AddEnergyJ(energyJ float64) { d.energyJ += energyJ }
 
 // Result is the outcome of executing a kernel profile.
 type Result struct {

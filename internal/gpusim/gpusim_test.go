@@ -519,3 +519,31 @@ func TestA100PresetValid(t *testing.T) {
 		t.Errorf("A100 compute time %g not below V100 %g", ta, tv)
 	}
 }
+
+func TestFloorFreq(t *testing.T) {
+	s := V100Spec()
+	if got := s.FloorFreqMHz(s.FMaxMHz() + 100); got != s.FMaxMHz() {
+		t.Errorf("floor above table %d, want f_max %d", got, s.FMaxMHz())
+	}
+	if got := s.FloorFreqMHz(s.FMinMHz() - 1); got != s.FMinMHz() {
+		t.Errorf("floor below table %d, want f_min %d", got, s.FMinMHz())
+	}
+	if got := s.FloorFreqMHz(s.DefaultFreqMHz); got != s.DefaultFreqMHz {
+		t.Errorf("floor of a table frequency %d, want itself %d", got, s.DefaultFreqMHz)
+	}
+	// Between two table entries the floor is the lower one, never the
+	// nearest: a throttle cap must not be exceeded by rounding up.
+	mid := s.CoreFreqsMHz[10] + 1
+	if got := s.FloorFreqMHz(mid); got != s.CoreFreqsMHz[10] {
+		t.Errorf("floor of %d = %d, want %d", mid, got, s.CoreFreqsMHz[10])
+	}
+}
+
+func TestAddEnergyAdvancesCounter(t *testing.T) {
+	d := MustNew(V100Spec(), 1)
+	before := d.EnergyCounterJ()
+	d.AddEnergyJ(12.5)
+	if got := d.EnergyCounterJ() - before; math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("counter advanced by %g, want 12.5", got)
+	}
+}

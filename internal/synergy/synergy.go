@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/kernels"
 )
@@ -23,10 +24,17 @@ type Platform struct {
 
 // NewPlatform builds a platform exposing one queue per spec, with device
 // noise generators derived from seed so that independent platforms constructed
-// with the same seed observe identical measurements.
+// with the same seed observe identical measurements. Device names must be
+// unique: QueueByName is the addressing scheme of everything above this
+// layer, and a duplicate would make it silently ambiguous.
 func NewPlatform(seed uint64, specs ...gpusim.Spec) (*Platform, error) {
 	p := &Platform{}
+	seen := make(map[string]bool, len(specs))
 	for i, s := range specs {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("synergy: duplicate device name %q (device %d); QueueByName would be ambiguous", s.Name, i)
+		}
+		seen[s.Name] = true
 		d, err := gpusim.New(s, seed+uint64(i)*0x51_7c_c1b7_2722_0a95)
 		if err != nil {
 			return nil, err
@@ -58,12 +66,18 @@ func (p *Platform) QueueByName(name string) (*Queue, error) {
 }
 
 // Event records one profiled kernel submission, in the style of SYnergy's
-// per-kernel energy events.
+// per-kernel energy events. FreqMHz is the clock the submission actually ran
+// at: with a thermal-throttle window active it is below the requested clock,
+// so event logs (and everything trained on them) stay truthful under
+// throttling.
 type Event struct {
 	Kernel  string
 	FreqMHz int
 	TimeS   float64
 	EnergyJ float64
+	// Faulted marks a submission aborted by an injected fault; TimeS and
+	// EnergyJ then hold the partial cost burned before the abort.
+	Faulted bool
 }
 
 // Queue is an in-order execution queue bound to one device, with per-kernel
@@ -76,6 +90,20 @@ type Queue struct {
 	// pinned, when non-zero, is the frequency applied to every submission
 	// (the paper's per-application scaling mode).
 	pinned int
+	// inj, when non-nil, is consulted before every submission and clock set
+	// (fault injection); nil queues follow the exact fault-free code path.
+	inj   *faults.DeviceInjector
+	stats FaultStats
+}
+
+// FaultStats aggregates the injected faults a queue has observed.
+type FaultStats struct {
+	Transient     int // retryable kernel faults
+	Permanent     int // submissions failed on a dead device (first one included)
+	Throttled     int // submissions run below the requested clock
+	ClockRejects  int // rejected SetCoreFreq calls
+	WastedTimeS   float64
+	WastedEnergyJ float64
 }
 
 // Device exposes the underlying simulated device (read-only use intended).
@@ -93,14 +121,48 @@ func (q *Queue) SupportedFreqsMHz() []int {
 }
 
 // SetCoreFreqMHz pins every subsequent submission to the given core clock.
+// With a fault injector attached the set can be rejected (flaky vendor
+// library) or fail permanently (dead device); the previous clock is kept.
 func (q *Queue) SetCoreFreqMHz(mhz int) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if !q.dev.Spec().HasFreq(mhz) {
 		return fmt.Errorf("synergy: %s: unsupported frequency %d MHz", q.dev.Spec().Name, mhz)
 	}
+	if q.inj != nil {
+		if err := q.inj.OnClockSet(); err != nil {
+			q.stats.ClockRejects++
+			return fmt.Errorf("synergy: %s: setting %d MHz: %w", q.dev.Spec().Name, mhz, err)
+		}
+	}
 	q.pinned = mhz
 	return q.dev.SetCoreFreqMHz(mhz)
+}
+
+// PinnedFreqMHz returns the currently pinned clock (0 when the queue runs at
+// the vendor baseline). Cluster-wide frequency control uses it to roll back
+// partially applied settings.
+func (q *Queue) PinnedFreqMHz() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pinned
+}
+
+// SetFaultInjector attaches a per-device fault injector consulted on every
+// submission and clock set; nil detaches it. Queues without an injector
+// follow the exact fault-free execution path, so attaching an empty fault
+// plan is indistinguishable from never attaching one.
+func (q *Queue) SetFaultInjector(inj *faults.DeviceInjector) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inj = inj
+}
+
+// FaultStats returns the injected-fault counters of this queue.
+func (q *Queue) FaultStats() FaultStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
 }
 
 // ResetFrequency restores the vendor baseline (NVIDIA default clock or AMD
@@ -120,6 +182,9 @@ func (q *Queue) BaselineFreqMHz() int { return q.dev.Spec().BaselineFreqMHz() }
 func (q *Queue) Submit(p kernels.Profile) (gpusim.Result, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.inj != nil {
+		return q.submitInjected(p, q.dev.CoreFreqMHz())
+	}
 	r, err := q.dev.Run(p)
 	if err != nil {
 		return gpusim.Result{}, err
@@ -136,11 +201,62 @@ func (q *Queue) Submit(p kernels.Profile) (gpusim.Result, error) {
 func (q *Queue) SubmitAt(p kernels.Profile, mhz int) (gpusim.Result, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.inj != nil {
+		if !q.dev.Spec().HasFreq(mhz) {
+			return gpusim.Result{}, fmt.Errorf("synergy: %s: unsupported frequency %d MHz", q.dev.Spec().Name, mhz)
+		}
+		return q.submitInjected(p, mhz)
+	}
 	r, err := q.dev.RunAt(p, mhz)
 	if err != nil {
 		return gpusim.Result{}, err
 	}
 	q.events = append(q.events, Event{Kernel: p.Name, FreqMHz: mhz, TimeS: r.TimeS, EnergyJ: r.EnergyJ})
+	return r, nil
+}
+
+// submitInjected is the fault-aware submission path: it consults the
+// injector, applies any thermal-throttle cap to the effective clock, charges
+// partially executed work on an abort, and logs a truthful event either way.
+// Called with q.mu held.
+func (q *Queue) submitInjected(p kernels.Profile, mhz int) (gpusim.Result, error) {
+	dec := q.inj.OnSubmit()
+	eff := mhz
+	if dec.CapMHz > 0 && dec.CapMHz < eff {
+		eff = q.dev.Spec().FloorFreqMHz(dec.CapMHz)
+		q.stats.Throttled++
+	}
+	if dec.Err != nil {
+		if faults.IsTransient(dec.Err) {
+			q.stats.Transient++
+		} else {
+			q.stats.Permanent++
+		}
+		// The aborted attempt still burned time and energy up to the fault
+		// point. Charge the noiseless partial cost: it keeps the energy
+		// counter truthful without consuming measurement-noise draws, so the
+		// noise stream (and with it every later observation) is unaffected
+		// by whether an abort happened before it.
+		if err := p.Validate(); err != nil {
+			return gpusim.Result{}, err
+		}
+		b := q.dev.Analytic(p, eff)
+		wastedTimeS := b.TimeS * dec.Frac
+		wastedEnergyJ := b.EnergyJ * dec.Frac
+		q.dev.AddEnergyJ(wastedEnergyJ)
+		q.stats.WastedTimeS += wastedTimeS
+		q.stats.WastedEnergyJ += wastedEnergyJ
+		q.events = append(q.events, Event{
+			Kernel: p.Name, FreqMHz: eff,
+			TimeS: wastedTimeS, EnergyJ: wastedEnergyJ, Faulted: true,
+		})
+		return gpusim.Result{}, fmt.Errorf("synergy: %s: %s: %w", q.dev.Spec().Name, p.Name, dec.Err)
+	}
+	r, err := q.dev.RunAt(p, eff)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	q.events = append(q.events, Event{Kernel: p.Name, FreqMHz: eff, TimeS: r.TimeS, EnergyJ: r.EnergyJ})
 	return r, nil
 }
 
@@ -150,6 +266,30 @@ func (q *Queue) Events() []Event {
 	defer q.mu.Unlock()
 	out := make([]Event, len(q.events))
 	copy(out, q.events)
+	return out
+}
+
+// EventCount returns the number of events recorded so far. Together with
+// EventsFrom it lets a caller attribute the cost of a span of submissions
+// (e.g. one failed workload attempt) without draining the log.
+func (q *Queue) EventCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.events)
+}
+
+// EventsFrom returns a copy of the events recorded at or after index from.
+func (q *Queue) EventsFrom(from int) []Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(q.events) {
+		return nil
+	}
+	out := make([]Event, len(q.events)-from)
+	copy(out, q.events[from:])
 	return out
 }
 
@@ -170,11 +310,21 @@ func (q *Queue) EnergyCounterJ() float64 {
 }
 
 // Measurement is an averaged observation of a workload at one frequency.
+// FreqMHz is the requested clock; EffFreqMHz is the lowest clock any
+// submission of the measurement actually ran at. The two differ only when a
+// thermal-throttle window silently capped the device — reporting the
+// effective clock keeps online tuners and model-training datasets from being
+// polluted by capped probes mislabeled with the requested frequency.
 type Measurement struct {
-	FreqMHz int
-	TimeS   float64
-	EnergyJ float64
+	FreqMHz    int
+	EffFreqMHz int
+	TimeS      float64
+	EnergyJ    float64
 }
+
+// Throttled reports whether any submission of the measurement ran below the
+// requested clock.
+func (m Measurement) Throttled() bool { return m.EffFreqMHz != m.FreqMHz }
 
 // Workload is anything that can run on a queue and report aggregate time and
 // energy — both applications implement it. The paper's training harness
@@ -197,6 +347,7 @@ func MeasureAt(q *Queue, w Workload, mhz, reps int) (Measurement, error) {
 		return Measurement{}, err
 	}
 	defer q.ResetFrequency()
+	first := q.EventCount()
 	var sumT, sumE float64
 	for i := 0; i < reps; i++ {
 		t, e, err := w.RunOn(q)
@@ -206,8 +357,16 @@ func MeasureAt(q *Queue, w Workload, mhz, reps int) (Measurement, error) {
 		sumT += t
 		sumE += e
 	}
+	// The effective clock is the lowest clock any submission ran at: equal
+	// to the request on a healthy device, below it inside a throttle window.
+	effMHz := mhz
+	for _, ev := range q.EventsFrom(first) {
+		if ev.FreqMHz < effMHz {
+			effMHz = ev.FreqMHz
+		}
+	}
 	n := float64(reps)
-	return Measurement{FreqMHz: mhz, TimeS: sumT / n, EnergyJ: sumE / n}, nil
+	return Measurement{FreqMHz: mhz, EffFreqMHz: effMHz, TimeS: sumT / n, EnergyJ: sumE / n}, nil
 }
 
 // Sweep measures w at every frequency in freqs (reps repetitions each) and

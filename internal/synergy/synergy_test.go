@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/kernels"
 )
@@ -301,5 +302,120 @@ func TestPowerTraceFromRealWorkload(t *testing.T) {
 		if pt.PowerW <= 0 {
 			t.Errorf("non-positive power sample %+v", pt)
 		}
+	}
+}
+
+func TestNewPlatformRejectsDuplicateNames(t *testing.T) {
+	if _, err := NewPlatform(5, gpusim.V100Spec(), gpusim.V100Spec()); err == nil {
+		t.Fatal("expected error for duplicate device names")
+	}
+	// Renamed copies of the same spec are fine.
+	a, b := gpusim.V100Spec(), gpusim.V100Spec()
+	b.Name = "NVIDIA V100 #1"
+	if _, err := NewPlatform(5, a, b); err != nil {
+		t.Fatalf("distinct names must be accepted: %v", err)
+	}
+}
+
+func TestSubmitUnderThrottleRunsAtEffectiveClock(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	const capMHz = 900
+	plan := faults.Plan{
+		Seed:      3,
+		Throttles: []faults.Throttle{{Device: 0, FromSubmit: 2, ToSubmit: 3, CapMHz: capMHz}},
+	}
+	inj, err := faults.NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetFaultInjector(inj.Device(0))
+	top := q.Spec().FMaxMHz()
+	if _, err := q.SubmitAt(testProfile(), top); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitAt(testProfile(), top); err != nil {
+		t.Fatal(err)
+	}
+	evs := q.Events()
+	if len(evs) != 2 {
+		t.Fatalf("want 2 events, got %d", len(evs))
+	}
+	if evs[0].FreqMHz != top {
+		t.Errorf("submission outside the window ran at %d MHz, want %d", evs[0].FreqMHz, top)
+	}
+	want := q.Spec().FloorFreqMHz(capMHz)
+	if evs[1].FreqMHz != want {
+		t.Errorf("throttled submission ran at %d MHz, want %d", evs[1].FreqMHz, want)
+	}
+	if evs[1].TimeS <= evs[0].TimeS {
+		t.Errorf("throttled run (%.6fs) should be slower than full-clock run (%.6fs)", evs[1].TimeS, evs[0].TimeS)
+	}
+	if st := q.FaultStats(); st.Throttled != 1 {
+		t.Errorf("FaultStats.Throttled = %d, want 1", st.Throttled)
+	}
+}
+
+func TestMeasureAtReportsEffectiveClock(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	const capMHz = 900
+	plan := faults.Plan{
+		Seed:      3,
+		Throttles: []faults.Throttle{{Device: 0, FromSubmit: 1, ToSubmit: 1 << 30, CapMHz: capMHz}},
+	}
+	inj, err := faults.NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetFaultInjector(inj.Device(0))
+	top := q.Spec().FMaxMHz()
+	m, err := MeasureAt(q, sweepWorkload{testProfile()}, top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreqMHz != top {
+		t.Errorf("requested clock recorded as %d, want %d", m.FreqMHz, top)
+	}
+	if want := q.Spec().FloorFreqMHz(capMHz); m.EffFreqMHz != want {
+		t.Errorf("EffFreqMHz = %d, want %d", m.EffFreqMHz, want)
+	}
+	if !m.Throttled() {
+		t.Error("Throttled() must report true when the effective clock differs")
+	}
+}
+
+func TestFaultedSubmitChargesPartialWork(t *testing.T) {
+	p := newTestPlatform(t)
+	q := p.Queues()[0]
+	plan := faults.Plan{
+		Seed:     3,
+		Failures: []faults.DeviceFailure{{Device: 0, AfterSubmits: 1}},
+	}
+	inj, err := faults.NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetFaultInjector(inj.Device(0))
+	if _, err := q.Submit(testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	before := q.EnergyCounterJ()
+	if _, err := q.Submit(testProfile()); err == nil {
+		t.Fatal("expected the second submission to fail permanently")
+	}
+	evs := q.Events()
+	if len(evs) != 2 || !evs[1].Faulted {
+		t.Fatalf("aborted submission must log a Faulted event, got %+v", evs)
+	}
+	if evs[1].EnergyJ <= 0 {
+		t.Error("aborted submission should charge partial energy")
+	}
+	if got := q.EnergyCounterJ() - before; math.Abs(got-evs[1].EnergyJ) > 1e-9 {
+		t.Errorf("energy counter advanced %.6f J, event says %.6f J", got, evs[1].EnergyJ)
+	}
+	st := q.FaultStats()
+	if st.Permanent != 1 || st.WastedEnergyJ <= 0 {
+		t.Errorf("FaultStats = %+v, want Permanent=1 and wasted energy", st)
 	}
 }

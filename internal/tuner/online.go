@@ -63,8 +63,12 @@ func OnlineSearch(q *synergy.Queue, w synergy.Workload, freqs []int, reps int, p
 		}
 		res.Measurements += reps
 		res.Probed = append(res.Probed, mhz)
+		// Record the point at the clock the device actually ran, not the
+		// requested one: under thermal throttling the two differ, and
+		// attributing a capped measurement to the requested clock would
+		// poison the history table a governor selects from.
 		p := core.CurvePoint{
-			FreqMHz:    mhz,
+			FreqMHz:    m.EffFreqMHz,
 			Speedup:    ref.TimeS / m.TimeS,
 			NormEnergy: m.EnergyJ / ref.EnergyJ,
 		}
@@ -73,12 +77,14 @@ func OnlineSearch(q *synergy.Queue, w synergy.Workload, freqs []int, reps int, p
 	}
 
 	// Interval reduction over table indices: probe lo, mid-left, mid-right,
-	// hi; keep the half whose best point the policy prefers.
+	// hi; keep the half whose best point the policy prefers. The winner is
+	// matched by window position rather than by frequency — a throttled
+	// probe's effective clock need not appear in the table at all.
 	lo, hi := 0, len(table)-1
 	for hi-lo > 3 {
 		m1 := lo + (hi-lo)/3
 		m2 := hi - (hi-lo)/3
-		var window []core.CurvePoint
+		window := make([]core.CurvePoint, 0, 4)
 		for _, idx := range []int{lo, m1, m2, hi} {
 			p, err := probe(table[idx])
 			if err != nil {
@@ -87,13 +93,18 @@ func OnlineSearch(q *synergy.Queue, w synergy.Workload, freqs []int, reps int, p
 			window = append(window, p)
 		}
 		best := policy.Select(window)
-		switch best.FreqMHz {
-		case table[lo], table[m1]:
+		pos := 0
+		for i, p := range window {
+			if p == best {
+				pos = i
+				break
+			}
+		}
+		switch pos {
+		case 0, 1:
 			hi = m2
-		case table[m2], table[hi]:
-			lo = m1
 		default:
-			lo, hi = m1, m2
+			lo = m1
 		}
 	}
 	// Exhaustive refinement of the final window: probe whatever the interval

@@ -8,6 +8,7 @@ import (
 
 	"dsenergy/internal/core"
 	"dsenergy/internal/cronos"
+	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/ligen"
 	"dsenergy/internal/ml"
@@ -385,5 +386,79 @@ func TestPoliciesSelectFromCurveProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestOnlineSearchFailsCleanlyOnDeviceFault(t *testing.T) {
+	p, err := synergy.NewPlatform(9, gpusim.V100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Queues()[0]
+	// The device fails permanently after the baseline measurement (a 4-kernel
+	// Cronos workload at reps=1), so the first probe hits a dead device.
+	plan := faults.Plan{
+		Seed:     1,
+		Failures: []faults.DeviceFailure{{Device: 0, AfterSubmits: 5}},
+	}
+	inj, err := faults.NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetFaultInjector(inj.Device(0))
+	w, _ := cronos.NewWorkload(40, 16, 16, 4)
+	freqs := q.Spec().FreqsAbove(0.6)
+	res, err := OnlineSearch(q, w, freqs, 1, MinEnergy{})
+	if err == nil {
+		t.Fatal("expected mid-search device fault to surface as an error")
+	}
+	if !faults.IsPermanent(err) {
+		t.Errorf("error should wrap the device fault, got: %v", err)
+	}
+	if res.Measurements != 0 || res.Choice.FreqMHz != 0 {
+		t.Errorf("failed search must not return a half-built result: %+v", res)
+	}
+}
+
+func TestOnlineSearchRecordsThrottledProbesAtEffectiveClock(t *testing.T) {
+	p, err := synergy.NewPlatform(9, gpusim.V100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Queues()[0]
+	// A thermal-throttle window spanning the whole search caps the device
+	// well below every table clock: whatever the search requests, the device
+	// runs at the cap.
+	const capMHz = 900
+	plan := faults.Plan{
+		Seed:      1,
+		Throttles: []faults.Throttle{{Device: 0, FromSubmit: 1, ToSubmit: 1 << 30, CapMHz: capMHz}},
+	}
+	inj, err := faults.NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetFaultInjector(inj.Device(0))
+	w, _ := cronos.NewWorkload(40, 16, 16, 4)
+	freqs := q.Spec().FreqsAbove(0.75) // all above the cap
+	for _, f := range freqs {
+		if f <= capMHz {
+			t.Fatalf("test premise broken: table clock %d below cap %d", f, capMHz)
+		}
+	}
+	res, err := OnlineSearch(q, w, freqs, 1, MinEnergy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.Spec().FloorFreqMHz(capMHz)
+	if res.Choice.FreqMHz != want {
+		t.Errorf("throttled search chose %d MHz, want effective clock %d", res.Choice.FreqMHz, want)
+	}
+	// The probe log still records the requested clocks — that is what the
+	// governor asked for; only the measured points carry the effective clock.
+	for _, f := range res.Probed {
+		if f <= capMHz {
+			t.Errorf("probe log contains effective clock %d, want requested clocks only", f)
+		}
 	}
 }
