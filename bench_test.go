@@ -14,6 +14,8 @@ import (
 	"testing"
 
 	"dsenergy/internal/experiments"
+	"dsenergy/internal/ml"
+	"dsenergy/internal/xrand"
 )
 
 func benchCfg() experiments.Config { return experiments.QuickConfig() }
@@ -274,6 +276,73 @@ func BenchmarkStrongScaling(b *testing.B) {
 	}
 	b.ReportMetric(lr[len(lr)-1].Efficiency, "ligen-eff-8dev")
 	b.ReportMetric(cr[len(cr)-1].Efficiency, "cronos-eff-8dev")
+}
+
+// BenchmarkSweepSerialVsParallel compares the serial measurement campaign
+// (Workers=1, the reference path) against the deterministic parallel engine
+// (Workers=0, GOMAXPROCS workers) building the full QuickConfig LiGen
+// dataset. Both arms produce byte-identical datasets — the determinism tests
+// pin that — so the ns/op ratio is the engine's pure speedup.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Jobs = arm.workers
+			var samples int
+			for i := 0; i < b.N; i++ {
+				p, err := cfg.Platform()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds, _, err := cfg.BuildLiGenDataset(p.Queues()[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = len(ds.Samples)
+			}
+			b.ReportMetric(float64(samples), "samples")
+		})
+	}
+}
+
+// BenchmarkKFoldParallel compares serial k-fold cross-validation against the
+// parallel fold fan-out on a synthetic regression problem sized like the
+// paper's datasets.
+func BenchmarkKFoldParallel(b *testing.B) {
+	const n, d, k = 600, 6, 5
+	rng := xrand.New(42)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		var s float64
+		for j := range row {
+			row[j] = rng.Float64()
+			s += float64(j+1) * row[j]
+		}
+		X[i] = row
+		y[i] = 1 + s + 0.01*rng.Norm()
+	}
+	spec := ml.Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 30}}
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(arm.name, func(b *testing.B) {
+			var mape float64
+			var err error
+			for i := 0; i < b.N; i++ {
+				mape, err = ml.KFoldMAPEParallel(spec, X, y, k, 7, arm.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mape, "mape")
+		})
+	}
 }
 
 // BenchmarkTunerComparison measures the deployment trade-off: model-driven

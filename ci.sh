@@ -31,11 +31,18 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-# The resilience layer's retry/requeue concurrency is where a scheduling race
-# would hide: run its packages twice under the race detector so goroutine
-# interleavings get a second roll of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster"
-go test -race -count=2 ./internal/faults ./internal/cluster
+# The resilience layer's retry/requeue concurrency and the deterministic
+# parallel engine are where a scheduling race would hide: run their packages
+# twice under the race detector so goroutine interleavings get a second roll
+# of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel
+
+# Parallel-vs-serial equivalence smoke: regenerate a figure and the cluster
+# resilience study with Jobs=1 and Jobs=0 under the race detector and require
+# byte-identical results (the engine's core contract, end to end).
+echo "==> parallel equivalence smoke (Jobs=0 vs Jobs=1)"
+go test -race -run 'TestJobsInvariance' ./internal/experiments
 
 echo "==> dsalint ./..."
 go run ./cmd/dsalint ./...

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	characterize [-fig all|1|2|...|10] [-quick] [-stride N] [-reps N]
+//	characterize [-fig all|1|2|...|10] [-quick] [-j N] [-stride N] [-reps N]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all or 1..10")
 	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	stride := flag.Int("stride", 0, "override frequency stride (0 = config default)")
 	reps := flag.Int("reps", 0, "override measurement repetitions (0 = config default)")
 	format := flag.String("format", "text", "output format: text or csv")
@@ -32,6 +33,7 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Jobs = *jobs
 	if *stride > 0 {
 		cfg.FreqStride = *stride
 	}

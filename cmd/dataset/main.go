@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	dataset -app cronos  [-device v100|mi100] [-quick] [-o cronos.csv]
-//	dataset -app ligen   [-device v100|mi100] [-quick] [-o ligen.csv]
+//	dataset -app cronos  [-device v100|mi100] [-quick] [-j N] [-o cronos.csv]
+//	dataset -app ligen   [-device v100|mi100] [-quick] [-j N] [-o ligen.csv]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	app := flag.String("app", "cronos", "application to measure: cronos or ligen")
 	device := flag.String("device", "v100", "device to measure on: v100 or mi100")
 	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -29,6 +30,7 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Jobs = *jobs
 	p, err := cfg.Platform()
 	if err != nil {
 		fail(err)

@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	evalmodels [-fig 13|14|all] [-ablations] [-quick]
+//	evalmodels [-fig 13|14|all] [-ablations] [-quick] [-j N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"dsenergy/internal/experiments"
 )
@@ -23,12 +24,14 @@ func main() {
 	perkernel := flag.Bool("perkernel", false, "also run the per-kernel scaling experiment (§7)")
 	tuners := flag.Bool("tuners", false, "also run the model-vs-online tuner comparison")
 	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Jobs = *jobs
 
 	if *fig == "13" || *fig == "all" {
 		r, err := cfg.Fig13()
@@ -65,8 +68,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("== per-kernel frequency scaling (§7 future work), Cronos 160x64x64 ==")
-		for k, f := range r.Plan {
-			fmt.Printf("   %-16s -> %d MHz\n", k, f)
+		kernels := make([]string, 0, len(r.Plan))
+		for k := range r.Plan {
+			kernels = append(kernels, k)
+		}
+		sort.Strings(kernels)
+		for _, k := range kernels {
+			fmt.Printf("   %-16s -> %d MHz\n", k, r.Plan[k])
 		}
 		fmt.Printf("   measured: speedup %.3f, energy saving %.1f%%\n",
 			r.Outcome.Speedup(), r.Outcome.EnergySaving()*100)

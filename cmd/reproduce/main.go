@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	reproduce [-out results] [-quick]
+//	reproduce [-out results] [-quick] [-j N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"dsenergy/internal/experiments"
@@ -23,12 +24,14 @@ import (
 func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "reduced-fidelity configuration")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Jobs = *jobs
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
@@ -130,8 +133,13 @@ func main() {
 			return err
 		}
 		fmt.Fprintln(f, "== per-kernel frequency scaling (§7 future work), Cronos 160x64x64 ==")
-		for k, fr := range r.Plan {
-			fmt.Fprintf(f, "   %-16s -> %d MHz\n", k, fr)
+		kernels := make([]string, 0, len(r.Plan))
+		for k := range r.Plan {
+			kernels = append(kernels, k)
+		}
+		sort.Strings(kernels)
+		for _, k := range kernels {
+			fmt.Fprintf(f, "   %-16s -> %d MHz\n", k, r.Plan[k])
 		}
 		fmt.Fprintf(f, "   measured: speedup %.3f, energy saving %.1f%%\n",
 			r.Outcome.Speedup(), r.Outcome.EnergySaving()*100)

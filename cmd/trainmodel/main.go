@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	trainmodel [-quick] [-compare] [-gridsearch] [-tables]
+//	trainmodel [-quick] [-j N] [-compare] [-gridsearch] [-tables]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	compare := flag.Bool("compare", true, "run the §5.2.1 regressor comparison")
 	gridsearch := flag.Bool("gridsearch", false, "run the random-forest grid search (slow)")
 	loocv := flag.Bool("loocv", true, "run the leave-one-input-out accuracy report")
@@ -30,6 +31,7 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Jobs = *jobs
 
 	if *tables {
 		experiments.RenderTable1(os.Stdout)

@@ -15,8 +15,10 @@ import (
 )
 
 // characterize runs one small LiGen + Cronos characterization campaign on a
-// freshly seeded testbed and returns both datasets serialized to CSV.
-func characterize(t *testing.T, seed uint64) []byte {
+// freshly seeded testbed and returns both datasets serialized to CSV. The
+// workers count feeds BuildConfig.Workers (0 = GOMAXPROCS, 1 = serial) and
+// must never change the bytes.
+func characterize(t *testing.T, seed uint64, workers int) []byte {
 	t.Helper()
 	tb, err := dsenergy.NewTestbed(seed)
 	if err != nil {
@@ -42,7 +44,7 @@ func characterize(t *testing.T, seed uint64) []byte {
 		})
 	}
 	ds, err := dsenergy.BuildDataset(v100, dsenergy.LiGenSchema(), ligenWLs,
-		dsenergy.BuildConfig{Freqs: freqs, Reps: 2})
+		dsenergy.BuildConfig{Freqs: freqs, Reps: 2, Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func characterize(t *testing.T, seed uint64) []byte {
 		})
 	}
 	ds, err = dsenergy.BuildDataset(v100, dsenergy.CronosSchema(), cronosWLs,
-		dsenergy.BuildConfig{Freqs: freqs, Reps: 2})
+		dsenergy.BuildConfig{Freqs: freqs, Reps: 2, Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,13 +151,27 @@ func TestEmptyFaultPlanPreservesFaultFreeResults(t *testing.T) {
 }
 
 func TestCharacterizationSeedDeterminism(t *testing.T) {
-	first := characterize(t, 42)
-	second := characterize(t, 42)
+	first := characterize(t, 42, 1)
+	second := characterize(t, 42, 1)
 	if !bytes.Equal(first, second) {
 		t.Fatalf("identically seeded characterizations produced different datasets\n--- first ---\n%s\n--- second ---\n%s",
 			first, second)
 	}
-	if other := characterize(t, 43); bytes.Equal(first, other) {
+	if other := characterize(t, 43, 1); bytes.Equal(first, other) {
 		t.Fatal("differently seeded characterizations produced identical datasets; measurement noise is not seeded")
+	}
+}
+
+// TestParallelCharacterizationMatchesSerial pins the parallel engine's
+// facade-level contract: the same campaign run serially (Workers=1), on the
+// full GOMAXPROCS pool (Workers=0) and on an awkward worker count produces
+// byte-identical CSV datasets, because every measurement's randomness is
+// pre-split in task order before any worker starts.
+func TestParallelCharacterizationMatchesSerial(t *testing.T) {
+	serial := characterize(t, 42, 1)
+	for _, workers := range []int{0, 3} {
+		if got := characterize(t, 42, workers); !bytes.Equal(serial, got) {
+			t.Fatalf("Workers=%d characterization diverged from serial bytes", workers)
+		}
 	}
 }

@@ -87,6 +87,14 @@ func Sweep(q *Queue, w Workload, freqs []int, reps int) ([]Measurement, error) {
 	return synergy.Sweep(q, w, freqs, reps)
 }
 
+// ParallelSweep is Sweep fanned out over the deterministic worker pool of
+// internal/parallel: frequencies are measured concurrently on pre-split
+// device clones and the results are byte-identical to Sweep for every worker
+// count (0 = GOMAXPROCS, 1 = serial).
+func ParallelSweep(q *Queue, w Workload, freqs []int, reps, workers int) ([]Measurement, error) {
+	return synergy.ParallelSweep(q, w, freqs, reps, workers)
+}
+
 // Applications.
 type (
 	// CronosWorkload is a Cronos MHD simulation as a GPU workload.

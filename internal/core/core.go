@@ -107,11 +107,18 @@ type BuildConfig struct {
 	Freqs []int
 	// Reps is the repetitions per measurement (0 selects the paper's 5).
 	Reps int
+	// Workers bounds the measurement goroutines (0 = GOMAXPROCS, 1 = serial).
+	// The dataset is byte-identical for every value: all workload×frequency
+	// tasks draw pre-split noise streams fixed before the pool starts.
+	Workers int
 }
 
 // BuildDataset runs the training-phase workflow of Figure 11: every workload
 // is executed at every frequency (averaged over repetitions) and the
-// observations are collected into a dataset.
+// observations are collected into a dataset. All workload×frequency
+// measurements go through one shared worker pool (synergy.SweepSet), which
+// is what lets the paper-scale sweep — hundreds of clocks per workload —
+// use every core while producing the same bytes as the serial loop.
 func BuildDataset(q *synergy.Queue, schema Schema, wls []FeaturedWorkload, cfg BuildConfig) (*Dataset, error) {
 	if len(wls) == 0 {
 		return nil, fmt.Errorf("core: no workloads to measure")
@@ -129,16 +136,20 @@ func BuildDataset(q *synergy.Queue, schema Schema, wls []FeaturedWorkload, cfg B
 		Device:          q.Spec().Name,
 		BaselineFreqMHz: q.BaselineFreqMHz(),
 	}
-	for _, fw := range wls {
+	workloads := make([]synergy.Workload, len(wls))
+	for i, fw := range wls {
 		if len(fw.Features) != len(schema.Features) {
 			return nil, fmt.Errorf("core: workload %s has %d features, schema %s wants %d",
 				fw.Workload.Name(), len(fw.Features), schema.App, len(schema.Features))
 		}
-		ms, err := synergy.Sweep(q, fw.Workload, freqs, reps)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range ms {
+		workloads[i] = fw.Workload
+	}
+	sets, err := synergy.SweepSet(q, workloads, freqs, reps, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for wi, fw := range wls {
+		for _, m := range sets[wi] {
 			ds.Samples = append(ds.Samples, Sample{
 				Features: append([]float64(nil), fw.Features...),
 				FreqMHz:  m.FreqMHz,

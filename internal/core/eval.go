@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dsenergy/internal/ml"
+	"dsenergy/internal/parallel"
 )
 
 // InputAccuracy is one bar pair of Figure 13: the prediction error of a
@@ -22,19 +24,25 @@ type InputAccuracy struct {
 // samples at every frequency), comparing the predicted speedup and
 // normalized-energy curves against the measured ones.
 func LeaveOneInputOut(ds *Dataset, spec ml.Spec, seed uint64) ([]InputAccuracy, error) {
+	return leaveOneInputOut(ds, spec, seed, 1)
+}
+
+// LeaveOneInputOutParallel is LeaveOneInputOut with the folds trained on a
+// worker pool (workers <= 0 selects GOMAXPROCS). Every fold retrains from
+// the same seed on a disjoint input, so the result is identical to the
+// serial protocol for every worker count.
+func LeaveOneInputOutParallel(ds *Dataset, spec ml.Spec, seed uint64, workers int) ([]InputAccuracy, error) {
+	return leaveOneInputOut(ds, spec, seed, workers)
+}
+
+func leaveOneInputOut(ds *Dataset, spec ml.Spec, seed uint64, workers int) ([]InputAccuracy, error) {
 	inputs := ds.Inputs()
 	if len(inputs) < 2 {
 		return nil, fmt.Errorf("core: leave-one-input-out needs >= 2 inputs, have %d", len(inputs))
 	}
-	out := make([]InputAccuracy, 0, len(inputs))
-	for _, held := range inputs {
-		acc, err := EvalHeldOut(ds, spec, seed, held)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, acc)
-	}
-	return out, nil
+	return parallel.Map(context.Background(), len(inputs), workers, func(_ context.Context, i int) (InputAccuracy, error) {
+		return EvalHeldOut(ds, spec, seed, inputs[i])
+	})
 }
 
 // TrainHeldOut trains a normalized model on every input except held — one
@@ -158,11 +166,22 @@ type AlgorithmScore struct {
 
 // CompareAlgorithms evaluates each spec on the dataset.
 func CompareAlgorithms(ds *Dataset, specs []ml.Spec, seed uint64) ([]AlgorithmScore, error) {
-	out := make([]AlgorithmScore, 0, len(specs))
-	for _, spec := range specs {
+	return compareAlgorithms(ds, specs, seed, 1)
+}
+
+// CompareAlgorithmsParallel is CompareAlgorithms with the algorithms
+// evaluated on a worker pool (workers <= 0 selects GOMAXPROCS), identical to
+// the serial comparison for every worker count.
+func CompareAlgorithmsParallel(ds *Dataset, specs []ml.Spec, seed uint64, workers int) ([]AlgorithmScore, error) {
+	return compareAlgorithms(ds, specs, seed, workers)
+}
+
+func compareAlgorithms(ds *Dataset, specs []ml.Spec, seed uint64, workers int) ([]AlgorithmScore, error) {
+	return parallel.Map(context.Background(), len(specs), workers, func(_ context.Context, i int) (AlgorithmScore, error) {
+		spec := specs[i]
 		accs, err := LeaveOneInputOut(ds, spec, seed)
 		if err != nil {
-			return nil, fmt.Errorf("core: comparing %s: %w", spec.Algorithm, err)
+			return AlgorithmScore{}, fmt.Errorf("core: comparing %s: %w", spec.Algorithm, err)
 		}
 		var ss, se float64
 		for _, a := range accs {
@@ -170,11 +189,10 @@ func CompareAlgorithms(ds *Dataset, specs []ml.Spec, seed uint64) ([]AlgorithmSc
 			se += a.NormEnergyMAPE
 		}
 		n := float64(len(accs))
-		out = append(out, AlgorithmScore{
+		return AlgorithmScore{
 			Spec:               spec,
 			MeanSpeedupMAPE:    ss / n,
 			MeanNormEnergyMAPE: se / n,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

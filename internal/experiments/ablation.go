@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,6 +12,7 @@ import (
 	"dsenergy/internal/kernels"
 	"dsenergy/internal/ligen"
 	"dsenergy/internal/ml"
+	"dsenergy/internal/parallel"
 	"dsenergy/internal/synergy"
 	"dsenergy/internal/tuner"
 )
@@ -86,7 +88,7 @@ func (c Config) AblationFeatures() (AblationFeaturesResult, error) {
 	if err != nil {
 		return AblationFeaturesResult{}, err
 	}
-	withAccs, err := core.LeaveOneInputOut(ds, c.forestSpec(), c.Seed+11)
+	withAccs, err := core.LeaveOneInputOutParallel(ds, c.forestSpec(), c.Seed+11, c.Jobs)
 	if err != nil {
 		return AblationFeaturesResult{}, err
 	}
@@ -102,18 +104,20 @@ func (c Config) AblationFeatures() (AblationFeaturesResult, error) {
 	}
 	r.WithInputsMeanMAPE /= float64(len(withAccs))
 
-	var staticSum float64
+	// Each held-out input retrains a blinded forest — independent folds,
+	// fanned out on the config's worker pool and summed in input order.
 	inputs := ds.Inputs()
-	for _, held := range inputs {
+	staticMAPEs, err := parallel.Map(context.Background(), len(inputs), c.Jobs, func(_ context.Context, i int) (float64, error) {
+		held := inputs[i]
 		blind := blindDataset(ds, held)
 		m, err := core.TrainNormalized(blind, c.forestSpec(), c.Seed+12)
 		if err != nil {
-			return AblationFeaturesResult{}, err
+			return 0, err
 		}
 		// Score the blinded model's single curve against this input's truth.
 		truth, err := ds.TrueCurves(held)
 		if err != nil {
-			return AblationFeaturesResult{}, err
+			return 0, err
 		}
 		freqs := make([]int, len(truth))
 		for i, t := range truth {
@@ -127,7 +131,14 @@ func (c Config) AblationFeatures() (AblationFeaturesResult, error) {
 			ps = append(ps, pred[i].Speedup)
 			pn = append(pn, pred[i].NormEnergy)
 		}
-		staticSum += (ml.MAPE(ts, ps) + ml.MAPE(tn, pn)) / 2
+		return (ml.MAPE(ts, ps) + ml.MAPE(tn, pn)) / 2, nil
+	})
+	if err != nil {
+		return AblationFeaturesResult{}, err
+	}
+	var staticSum float64
+	for _, m := range staticMAPEs {
+		staticSum += m
 	}
 	r.StaticOnlyMeanMAPE = staticSum / float64(len(inputs))
 	return r, nil
@@ -164,10 +175,9 @@ type AblationNoiseResult struct {
 // AblationNoise compares domain-specific accuracy with 1 vs 5 measurement
 // repetitions on the Cronos dataset.
 func (c Config) AblationNoise() (AblationNoiseResult, error) {
-	run := func(reps int, seedShift uint64) (float64, error) {
+	run := func(reps int) (float64, error) {
 		cfg := c
 		cfg.Reps = reps
-		cfg.Seed += seedShift
 		p, err := cfg.platform()
 		if err != nil {
 			return 0, err
@@ -186,15 +196,16 @@ func (c Config) AblationNoise() (AblationNoiseResult, error) {
 		}
 		return sum / float64(len(accs)), nil
 	}
-	var r AblationNoiseResult
-	var err error
-	if r.Reps1MeanMAPE, err = run(1, 0); err != nil {
-		return r, err
+	// The two arms build independent platforms from the same seed — run them
+	// concurrently on the config's pool.
+	repCounts := []int{1, 5}
+	mapes, err := parallel.Map(context.Background(), len(repCounts), c.Jobs, func(_ context.Context, i int) (float64, error) {
+		return run(repCounts[i])
+	})
+	if err != nil {
+		return AblationNoiseResult{}, err
 	}
-	if r.Reps5MeanMAPE, err = run(5, 0); err != nil {
-		return r, err
-	}
-	return r, nil
+	return AblationNoiseResult{Reps1MeanMAPE: mapes[0], Reps5MeanMAPE: mapes[1]}, nil
 }
 
 // AblationBatchingResult probes the LiGen kernel-batching design: how the
@@ -213,21 +224,23 @@ func (c Config) AblationBatching() (AblationBatchingResult, error) {
 	spec := dev.Spec()
 	def := spec.BaselineFreqMHz()
 	low := spec.NearestFreqMHz(def * 3 / 4)
-	var r AblationBatchingResult
-	for _, batch := range []int{256, 1024, 2048, 8192} {
+	batches := []int{256, 1024, 2048, 8192}
+	savings, err := parallel.Map(context.Background(), len(batches), c.Jobs, func(_ context.Context, i int) (float64, error) {
 		w, err := ligen.NewWorkload(ligen.Input{Ligands: 10000, Atoms: 89, Fragments: 20})
 		if err != nil {
-			return r, err
+			return 0, err
 		}
 		w.Params.NumRestart = ligen.DefaultParams().NumRestart
 		wb := w
-		wb.BatchOverride = batch
+		wb.BatchOverride = batches[i]
 		_, eDef := wb.AnalyticOn(dev, def)
 		_, eLow := wb.AnalyticOn(dev, low)
-		r.BatchSizes = append(r.BatchSizes, batch)
-		r.Savings = append(r.Savings, 1-eLow/eDef)
+		return 1 - eLow/eDef, nil
+	})
+	if err != nil {
+		return AblationBatchingResult{}, err
 	}
-	return r, nil
+	return AblationBatchingResult{BatchSizes: batches, Savings: savings}, nil
 }
 
 // AblationBaselinesResult compares three model families on the Cronos
@@ -254,7 +267,7 @@ func (c Config) AblationBaselines() (AblationBaselinesResult, error) {
 	}
 	var r AblationBaselinesResult
 
-	dsAccs, err := core.LeaveOneInputOut(ds, c.forestSpec(), c.Seed+21)
+	dsAccs, err := core.LeaveOneInputOutParallel(ds, c.forestSpec(), c.Seed+21, c.Jobs)
 	if err != nil {
 		return AblationBaselinesResult{}, err
 	}
@@ -375,20 +388,31 @@ func (c Config) StrongScaling(devices []int) (ligenRows, cronosRows []ScalingRow
 	in := ligen.Input{Ligands: 16384, Atoms: 63, Fragments: 8}
 	grid := [3]int{160, 64, 64}
 
-	var ligenBase, cronosBase float64
-	for _, n := range devices {
-		cl, err := cluster.New(c.Seed, gpusim.V100Spec(), n, cluster.DefaultInterconnect())
+	// Every cluster size builds its own identically seeded cluster, so the
+	// points are independent and fan out on the config's pool; efficiencies
+	// need the single-device baseline and are derived afterwards, in order.
+	type scalePoint struct{ ligen, cronos cluster.Result }
+	points, err := parallel.Map(context.Background(), len(devices), c.Jobs, func(_ context.Context, i int) (scalePoint, error) {
+		cl, err := cluster.New(c.Seed, gpusim.V100Spec(), devices[i], cluster.DefaultInterconnect())
 		if err != nil {
-			return nil, nil, err
+			return scalePoint{}, err
 		}
 		lr, err := cl.ScreenLiGen(in)
 		if err != nil {
-			return nil, nil, err
+			return scalePoint{}, err
 		}
 		cr, err := cl.RunCronos(grid[0], grid[1], grid[2], c.CronosSteps)
 		if err != nil {
-			return nil, nil, err
+			return scalePoint{}, err
 		}
+		return scalePoint{ligen: lr, cronos: cr}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var ligenBase, cronosBase float64
+	for i, n := range devices {
+		lr, cr := points[i].ligen, points[i].cronos
 		if n == devices[0] && n == 1 {
 			ligenBase, cronosBase = lr.TimeS, cr.TimeS
 		}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dsenergy/internal/cronos"
 	"dsenergy/internal/ligen"
+	"dsenergy/internal/parallel"
 	"dsenergy/internal/pareto"
 	"dsenergy/internal/synergy"
 )
@@ -37,11 +39,36 @@ type Figure struct {
 	Notes  []string
 }
 
+// seriesJob names one characterization series to measure: a workload on a
+// device index, with its display label.
+type seriesJob struct {
+	devIdx int
+	w      synergy.Workload
+	label  string
+}
+
+// sweepSeriesSet measures a figure's series on the config's worker pool.
+// Every series runs on its own identically seeded platform, so each depends
+// only on (config, job) — never on the other series or on scheduling — and
+// within a series the frequency sweep itself fans out through ParallelSweep.
+// Series are normalized to their own baseline measurement, so the private
+// platforms change nothing physical; they are what makes the fan-out
+// deterministic.
+func (c Config) sweepSeriesSet(jobs []seriesJob) ([]Series, error) {
+	return parallel.Map(context.Background(), len(jobs), c.Jobs, func(_ context.Context, i int) (Series, error) {
+		p, err := c.platform()
+		if err != nil {
+			return Series{}, err
+		}
+		return c.sweepSeries(p.Queues()[jobs[i].devIdx], jobs[i].w, jobs[i].label)
+	})
+}
+
 // sweepSeries measures w on q across the config's sweep and builds the
 // normalized series with its Pareto front.
 func (c Config) sweepSeries(q *synergy.Queue, w synergy.Workload, label string) (Series, error) {
 	freqs := c.sweepFreqs(q.Spec())
-	ms, err := synergy.Sweep(q, w, freqs, c.Reps)
+	ms, err := synergy.ParallelSweep(q, w, freqs, c.Reps, c.Jobs)
 	if err != nil {
 		return Series{}, err
 	}
@@ -87,16 +114,7 @@ func (c Config) cronosWorkload(g [3]int) (cronos.Workload, error) {
 // Fig1 regenerates Figure 1: LiGen and Cronos multi-objective
 // characterization on the V100 with Pareto fronts.
 func (c Config) Fig1() (Figure, error) {
-	p, err := c.platform()
-	if err != nil {
-		return Figure{}, err
-	}
-	q := p.Queues()[0] // V100
 	lw, err := ligen.NewWorkload(ligen.Input{Ligands: 4096, Atoms: 63, Fragments: 8})
-	if err != nil {
-		return Figure{}, err
-	}
-	ls, err := c.sweepSeries(q, lw, "LiGen")
 	if err != nil {
 		return Figure{}, err
 	}
@@ -104,14 +122,17 @@ func (c Config) Fig1() (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
-	cs, err := c.sweepSeries(q, cw, "Cronos")
+	series, err := c.sweepSeriesSet([]seriesJob{
+		{devIdx: 0, w: lw, label: "LiGen"}, // V100
+		{devIdx: 0, w: cw, label: "Cronos"},
+	})
 	if err != nil {
 		return Figure{}, err
 	}
 	return Figure{
 		ID:     "fig1",
 		Title:  "LiGen and Cronos multi-objective characterization (V100)",
-		Series: []Series{ls, cs},
+		Series: series,
 	}, nil
 }
 
@@ -148,33 +169,23 @@ func (c Config) Fig5() (Figure, error) {
 }
 
 func (c Config) cronosPanels(id, title string, devIdx int, grids [][3]int) (Figure, error) {
-	p, err := c.platform()
-	if err != nil {
-		return Figure{}, err
-	}
-	q := p.Queues()[devIdx]
-	fig := Figure{ID: id, Title: title}
+	jobs := make([]seriesJob, 0, len(grids))
 	for _, g := range grids {
 		w, err := c.cronosWorkload(g)
 		if err != nil {
 			return Figure{}, err
 		}
-		s, err := c.sweepSeries(q, w, fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2]))
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, s)
+		jobs = append(jobs, seriesJob{devIdx: devIdx, w: w, label: fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2])})
 	}
-	return fig, nil
-}
-
-func (c Config) ligenPanels(id, title string, devIdx int, inputs []ligen.Input, labels []string) (Figure, error) {
-	p, err := c.platform()
+	series, err := c.sweepSeriesSet(jobs)
 	if err != nil {
 		return Figure{}, err
 	}
-	q := p.Queues()[devIdx]
-	fig := Figure{ID: id, Title: title}
+	return Figure{ID: id, Title: title, Series: series}, nil
+}
+
+func (c Config) ligenPanels(id, title string, devIdx int, inputs []ligen.Input, labels []string) (Figure, error) {
+	jobs := make([]seriesJob, 0, len(inputs))
 	for i, in := range inputs {
 		w, err := ligen.NewWorkload(in)
 		if err != nil {
@@ -184,13 +195,13 @@ func (c Config) ligenPanels(id, title string, devIdx int, inputs []ligen.Input, 
 		if labels != nil {
 			label = labels[i]
 		}
-		s, err := c.sweepSeries(q, w, label)
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, s)
+		jobs = append(jobs, seriesJob{devIdx: devIdx, w: w, label: label})
 	}
-	return fig, nil
+	series, err := c.sweepSeriesSet(jobs)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{ID: id, Title: title, Series: series}, nil
 }
 
 // Fig6 regenerates Figure 6: LiGen raw energy/time on the V100, 100000
@@ -215,39 +226,40 @@ func (c Config) ligenScaling(id string, devIdx int, byFragment bool) (Figure, er
 	if err != nil {
 		return Figure{}, err
 	}
-	q := p.Queues()[devIdx]
+	devName := p.Queues()[devIdx].Spec().Name
 	const ligands = 100000
 	fig := Figure{ID: id, Notes: []string{"raw joules vs seconds (not normalized), 100000 ligands"}}
+	var jobs []seriesJob
+	addJob := func(atoms, frags int, label string) error {
+		w, err := ligen.NewWorkload(ligen.Input{Ligands: ligands, Atoms: atoms, Fragments: frags})
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, seriesJob{devIdx: devIdx, w: w, label: label})
+		return nil
+	}
 	if byFragment {
-		fig.Title = fmt.Sprintf("LiGen energy/time scaling fragments on %s", q.Spec().Name)
+		fig.Title = fmt.Sprintf("LiGen energy/time scaling fragments on %s", devName)
 		for _, atoms := range []int{31, 89} {
 			for _, frags := range []int{4, 8, 16, 20} {
-				w, err := ligen.NewWorkload(ligen.Input{Ligands: ligands, Atoms: atoms, Fragments: frags})
-				if err != nil {
+				if err := addJob(atoms, frags, fmt.Sprintf("%d atoms, %d frags", atoms, frags)); err != nil {
 					return Figure{}, err
 				}
-				s, err := c.sweepSeries(q, w, fmt.Sprintf("%d atoms, %d frags", atoms, frags))
-				if err != nil {
-					return Figure{}, err
-				}
-				fig.Series = append(fig.Series, s)
 			}
 		}
-		return fig, nil
+	} else {
+		fig.Title = fmt.Sprintf("LiGen energy/time scaling atoms on %s", devName)
+		for _, frags := range []int{4, 20} {
+			for _, atoms := range []int{31, 63, 74, 89} {
+				if err := addJob(atoms, frags, fmt.Sprintf("%d frags, %d atoms", frags, atoms)); err != nil {
+					return Figure{}, err
+				}
+			}
+		}
 	}
-	fig.Title = fmt.Sprintf("LiGen energy/time scaling atoms on %s", q.Spec().Name)
-	for _, frags := range []int{4, 20} {
-		for _, atoms := range []int{31, 63, 74, 89} {
-			w, err := ligen.NewWorkload(ligen.Input{Ligands: ligands, Atoms: atoms, Fragments: frags})
-			if err != nil {
-				return Figure{}, err
-			}
-			s, err := c.sweepSeries(q, w, fmt.Sprintf("%d frags, %d atoms", frags, atoms))
-			if err != nil {
-				return Figure{}, err
-			}
-			fig.Series = append(fig.Series, s)
-		}
+	fig.Series, err = c.sweepSeriesSet(jobs)
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -255,30 +267,27 @@ func (c Config) ligenScaling(id string, devIdx int, byFragment bool) (Figure, er
 // Fig10 regenerates Figure 10: LiGen small (256x31x4) vs large (10000x89x20)
 // inputs on both devices, with Pareto fronts.
 func (c Config) Fig10() (Figure, error) {
-	p, err := c.platform()
-	if err != nil {
-		return Figure{}, err
-	}
-	fig := Figure{
-		ID:    "fig10",
-		Title: "LiGen characterization, small and large inputs, V100 and MI100",
-	}
 	inputs := []ligen.Input{
 		{Ligands: 256, Atoms: 31, Fragments: 4},
 		{Ligands: 10000, Atoms: 89, Fragments: 20},
 	}
-	for _, q := range p.Queues() {
+	var jobs []seriesJob
+	for devIdx := 0; devIdx < 2; devIdx++ {
 		for _, in := range inputs {
 			w, err := ligen.NewWorkload(in)
 			if err != nil {
 				return Figure{}, err
 			}
-			s, err := c.sweepSeries(q, w, in.String())
-			if err != nil {
-				return Figure{}, err
-			}
-			fig.Series = append(fig.Series, s)
+			jobs = append(jobs, seriesJob{devIdx: devIdx, w: w, label: in.String()})
 		}
 	}
-	return fig, nil
+	series, err := c.sweepSeriesSet(jobs)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig10",
+		Title:  "LiGen characterization, small and large inputs, V100 and MI100",
+		Series: series,
+	}, nil
 }

@@ -36,6 +36,11 @@ type Config struct {
 	Trees int
 	// LiGenInputs is the dataset input grid for the LiGen models.
 	LiGenInputs []ligen.Input
+	// Jobs bounds the worker goroutines of every generator (0 = GOMAXPROCS,
+	// 1 = fully serial). Results are byte-identical for every value: all
+	// parallelism goes through the deterministic engine in internal/parallel,
+	// with per-task randomness pre-split before any worker starts.
+	Jobs int
 }
 
 // DefaultConfig is the paper-fidelity configuration.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestJobsInvarianceFig1 pins the tentpole contract at the figure level: a
+// characterization figure's bytes do not depend on the worker count. Jobs=1
+// is the fully serial reference; Jobs=0 saturates GOMAXPROCS; Jobs=7 forces
+// a worker count that divides nothing evenly.
+func TestJobsInvarianceFig1(t *testing.T) {
+	render := func(jobs int) ([]byte, Figure) {
+		c := testConfig()
+		c.Jobs = jobs
+		fig, err := c.Fig1()
+		if err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		RenderFigure(&buf, fig)
+		return buf.Bytes(), fig
+	}
+	refBytes, refFig := render(1)
+	for _, jobs := range []int{0, 7} {
+		gotBytes, gotFig := render(jobs)
+		if !reflect.DeepEqual(refFig, gotFig) {
+			t.Errorf("Fig1 with Jobs=%d differs from serial figure", jobs)
+		}
+		if !bytes.Equal(refBytes, gotBytes) {
+			t.Errorf("rendered Fig1 bytes with Jobs=%d differ from serial render", jobs)
+		}
+	}
+}
+
+// TestJobsInvarianceResilience covers the cluster fan-out: the four fault
+// campaigns produce the same rows whether they run serially or concurrently.
+func TestJobsInvarianceResilience(t *testing.T) {
+	run := func(jobs int) []ResilienceRow {
+		c := testConfig()
+		c.Jobs = jobs
+		rows, err := c.Resilience()
+		if err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		return rows
+	}
+	ref := run(1)
+	if got := run(0); !reflect.DeepEqual(ref, got) {
+		t.Error("Resilience rows with Jobs=0 differ from serial run")
+	}
+}

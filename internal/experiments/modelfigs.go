@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dsenergy/internal/core"
@@ -9,6 +10,7 @@ import (
 	"dsenergy/internal/kernels"
 	"dsenergy/internal/ligen"
 	"dsenergy/internal/ml"
+	"dsenergy/internal/parallel"
 	"dsenergy/internal/pareto"
 	"dsenergy/internal/synergy"
 )
@@ -37,7 +39,7 @@ func (c Config) BuildCronosDataset(q *synergy.Queue) (*core.Dataset, []core.Feat
 		})
 	}
 	ds, err := core.BuildDataset(q, core.CronosSchema(), wls, core.BuildConfig{
-		Freqs: c.sweepFreqs(q.Spec()), Reps: c.Reps,
+		Freqs: c.sweepFreqs(q.Spec()), Reps: c.Reps, Workers: c.Jobs,
 	})
 	return ds, wls, err
 }
@@ -56,7 +58,7 @@ func (c Config) BuildLiGenDataset(q *synergy.Queue) (*core.Dataset, []core.Featu
 		})
 	}
 	ds, err := core.BuildDataset(q, core.LiGenSchema(), wls, core.BuildConfig{
-		Freqs: c.sweepFreqs(q.Spec()), Reps: c.Reps,
+		Freqs: c.sweepFreqs(q.Spec()), Reps: c.Reps, Workers: c.Jobs,
 	})
 	return ds, wls, err
 }
@@ -140,7 +142,7 @@ func (c Config) Fig13() (Fig13Result, error) {
 	if err != nil {
 		return Fig13Result{}, err
 	}
-	cAccs, err := core.LeaveOneInputOut(cds, c.forestSpec(), c.Seed+1)
+	cAccs, err := core.LeaveOneInputOutParallel(cds, c.forestSpec(), c.Seed+1, c.Jobs)
 	if err != nil {
 		return Fig13Result{}, err
 	}
@@ -164,27 +166,33 @@ func (c Config) Fig13() (Fig13Result, error) {
 		return Fig13Result{}, err
 	}
 	display := c.fig13Display(lds)
-	for _, in := range display {
+	// Each displayed input retrains its own held-out model — independent
+	// work, fanned out on the config's worker pool.
+	out.LiGen, err = parallel.Map(context.Background(), len(display), c.Jobs, func(_ context.Context, i int) (AccuracyBar, error) {
+		in := display[i]
 		features := []float64{float64(in.Ligands), float64(in.Fragments), float64(in.Atoms)}
 		a, err := core.EvalHeldOut(lds, c.forestSpec(), c.Seed+2, features)
 		if err != nil {
-			return Fig13Result{}, err
+			return AccuracyBar{}, err
 		}
 		w, err := ligen.NewWorkload(in)
 		if err != nil {
-			return Fig13Result{}, err
+			return AccuracyBar{}, err
 		}
 		mix := gpmodel.AppStaticFeatures(w.Profiles())
 		g, err := gpCurveMAPE(lds, gp, mix, features)
 		if err != nil {
-			return Fig13Result{}, err
+			return AccuracyBar{}, err
 		}
-		out.LiGen = append(out.LiGen, AccuracyBar{
+		return AccuracyBar{
 			// The paper labels LiGen inputs atoms x fragments x ligands.
 			Label:     fmt.Sprintf("%dx%dx%d", in.Atoms, in.Fragments, in.Ligands),
 			DSSpeedup: a.SpeedupMAPE, GPSpeedup: g.SpeedupMAPE,
 			DSNormEnergy: a.NormEnergyMAPE, GPNormEnergy: g.NormEnergyMAPE,
-		})
+		}, nil
+	})
+	if err != nil {
+		return Fig13Result{}, err
 	}
 	return out, nil
 }
@@ -382,7 +390,7 @@ func (c Config) CompareRegressors() ([]AlgorithmComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs, err := core.CompareAlgorithms(cds, specs, c.Seed+5)
+	cs, err := core.CompareAlgorithmsParallel(cds, specs, c.Seed+5, c.Jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +400,7 @@ func (c Config) CompareRegressors() ([]AlgorithmComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	ls, err := core.CompareAlgorithms(lds, specs, c.Seed+6)
+	ls, err := core.CompareAlgorithmsParallel(lds, specs, c.Seed+6, c.Jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +455,7 @@ func (c Config) GridSearchRF() ([]GridSearchResult, error) {
 		name string
 		y    []float64
 	}{{"speedup", ySp}, {"norm_energy", yNe}} {
-		pts, err := ml.GridSearch(base, grid, X, tgt.y, 4, c.Seed+9)
+		pts, err := ml.GridSearchParallel(base, grid, X, tgt.y, 4, c.Seed+9, c.Jobs)
 		if err != nil {
 			return nil, err
 		}

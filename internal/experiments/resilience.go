@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/ligen"
+	"dsenergy/internal/parallel"
 )
 
 // ResilienceRow compares one application's fault-free and fault-injected run
@@ -56,41 +58,38 @@ func (c Config) Resilience() ([]ResilienceRow, error) {
 		Throttles:     []faults.Throttle{{Device: 0, FromSubmit: 4, ToSubmit: 12, CapMHz: 1005}},
 	}
 
-	run := func(p faults.Plan) (lr, cr cluster.Result, err error) {
-		// LiGen and Cronos each get a fresh cluster so the device loss hits
-		// both campaigns at the same point.
+	// Each campaign gets a fresh identically seeded cluster, so the device
+	// loss hits every campaign at the same point and the four runs (two apps
+	// × clean/faulty) are independent — they fan out on the config's pool.
+	runOne := func(app string, p faults.Plan) (cluster.Result, error) {
 		cl, err := cluster.New(c.Seed, gpusim.V100Spec(), devices, cluster.DefaultInterconnect())
 		if err != nil {
-			return lr, cr, err
+			return cluster.Result{}, err
 		}
 		if err := cl.SetFaultPlan(p, cluster.DefaultResilienceConfig()); err != nil {
-			return lr, cr, err
+			return cluster.Result{}, err
 		}
-		if lr, err = cl.ScreenLiGen(in); err != nil {
-			return lr, cr, err
+		if app == "ligen" {
+			return cl.ScreenLiGen(in)
 		}
-		cl, err = cluster.New(c.Seed, gpusim.V100Spec(), devices, cluster.DefaultInterconnect())
-		if err != nil {
-			return lr, cr, err
-		}
-		if err := cl.SetFaultPlan(p, cluster.DefaultResilienceConfig()); err != nil {
-			return lr, cr, err
-		}
-		cr, err = cl.RunCronos(grid[0], grid[1], grid[2], c.CronosSteps)
-		return lr, cr, err
+		return cl.RunCronos(grid[0], grid[1], grid[2], c.CronosSteps)
 	}
-
-	cleanL, cleanC, err := run(faults.Plan{})
-	if err != nil {
-		return nil, err
+	campaigns := []struct {
+		app  string
+		plan faults.Plan
+	}{
+		{"ligen", faults.Plan{}}, {"cronos", faults.Plan{}},
+		{"ligen", plan}, {"cronos", plan},
 	}
-	faultyL, faultyC, err := run(plan)
+	results, err := parallel.Map(context.Background(), len(campaigns), c.Jobs, func(_ context.Context, i int) (cluster.Result, error) {
+		return runOne(campaigns[i].app, campaigns[i].plan)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return []ResilienceRow{
-		{App: "ligen", FaultFree: cleanL, Faulty: faultyL},
-		{App: "cronos", FaultFree: cleanC, Faulty: faultyC},
+		{App: "ligen", FaultFree: results[0], Faulty: results[2]},
+		{App: "cronos", FaultFree: results[1], Faulty: results[3]},
 	}, nil
 }
 

@@ -232,6 +232,35 @@ func (d *DeviceInjector) Dead() bool { return d.dead }
 // Submits returns how many submissions the device has been consulted for.
 func (d *DeviceInjector) Submits() int { return d.submits }
 
+// Fork derives a child injector for one partition of a pre-split parallel
+// execution (e.g. one frequency of a parallel sweep). The child shares the
+// plan but owns a stream split off the parent's and restarts the per-device
+// operation counters: scheduled windows (Throttles, Failures, ClockRejects)
+// are interpreted relative to the fork point, so a plan that throttles
+// submissions [1, reps] of a device hits the first reps submissions of every
+// partition — the partition-local reading that makes fault campaigns
+// schedule-independent. A dead parent stays dead in the child.
+func (d *DeviceInjector) Fork() *DeviceInjector {
+	return &DeviceInjector{
+		plan:   d.plan,
+		device: d.device,
+		rng:    d.rng.Split(),
+		dead:   d.dead,
+	}
+}
+
+// Absorb folds a forked child's state back into d: operation counters
+// accumulate and a permanent failure observed by the child kills the parent.
+// Absorbing every fork in fork order restores the aggregate counters a
+// serial execution over the same partitions would have produced.
+func (d *DeviceInjector) Absorb(child *DeviceInjector) {
+	d.submits += child.submits
+	d.clockSets += child.clockSets
+	if child.dead {
+		d.dead = true
+	}
+}
+
 // OnSubmit is consulted by the device path before every kernel submission
 // and returns the injector's decision for it.
 func (d *DeviceInjector) OnSubmit() Decision {

@@ -213,6 +213,14 @@ type Device struct {
 	powerCapW   float64
 	energyJ     float64
 	noise       *NoiseModel
+	// rng is the noise stream behind the noise model, retained so Fork can
+	// split it deterministically.
+	rng *xrand.Rand
+	// cache memoizes noiseless analytic evaluations. It is shared (and safe
+	// to share) across every fork of this device: the analytic model is a
+	// pure function of (spec, profile, frequency), so cached values are
+	// bit-identical to recomputed ones.
+	cache *analyticCache
 }
 
 // New constructs a device from spec with the measurement-noise model seeded
@@ -223,10 +231,30 @@ func New(spec Spec, seed uint64) (*Device, error) {
 	}
 	d := &Device{
 		spec:  spec,
-		noise: NewNoiseModel(DefaultNoiseSigma, xrand.New(seed)),
+		rng:   xrand.New(seed),
+		cache: newAnalyticCache(),
 	}
+	d.noise = NewNoiseModel(DefaultNoiseSigma, d.rng)
 	d.coreFreqMHz = spec.BaselineFreqMHz()
 	return d, nil
+}
+
+// Fork derives a child device for one task of a pre-split parallel
+// execution: same spec, clock and power cap, a fresh energy counter, a noise
+// stream split off the parent's (so the child's draws are deterministic in
+// the fork order, not in the schedule), and the parent's shared analytic
+// cache. Forking advances the parent's noise stream by exactly one draw,
+// like any other stream split.
+func (d *Device) Fork() *Device {
+	child := &Device{
+		spec:        d.spec,
+		coreFreqMHz: d.coreFreqMHz,
+		powerCapW:   d.powerCapW,
+		rng:         d.rng.Split(),
+		cache:       d.cache,
+	}
+	child.noise = NewNoiseModel(d.noise.Sigma, child.rng)
+	return child
 }
 
 // MustNew is New for known-good presets; it panics on error.

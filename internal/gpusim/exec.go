@@ -66,9 +66,10 @@ func (s Spec) dramTraffic(p kernels.Profile) float64 {
 	return raw * miss
 }
 
-// AnalyzeAt evaluates the noiseless analytical model for profile p at the
-// given core frequency and returns the full breakdown.
-func (d *Device) AnalyzeAt(p kernels.Profile, mhz int) Breakdown {
+// analyze is the uncached evaluation of the noiseless analytical model for
+// profile p at the given core frequency. It is pure in (spec, p, mhz), which
+// is what makes the memoization in AnalyzeAt (cache.go) sound.
+func (d *Device) analyze(p kernels.Profile, mhz int) Breakdown {
 	s := &d.spec
 	fGHz := float64(mhz) / 1000
 	v := s.voltageAt(mhz)

@@ -1,16 +1,57 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"dsenergy/internal/parallel"
 	"dsenergy/internal/xrand"
 )
 
-// KFoldMAPE estimates generalization MAPE with shuffled k-fold
-// cross-validation: the spec is re-fit on each training fold and evaluated
-// on the held-out fold; the mean MAPE across folds is returned.
-func KFoldMAPE(spec Spec, X [][]float64, y []float64, k int, seed uint64) (float64, error) {
+// evalFold fits spec on every sample outside test and returns the MAPE on
+// the held-out fold. scratch is an n-length membership marker owned by the
+// caller: evalFold marks the test indices on entry and unmarks them before
+// returning, so a serial caller reuses one allocation across all folds
+// (replacing the per-fold map[int]bool this package used to build) while a
+// parallel caller hands each fold its own slice.
+func evalFold(spec Spec, X [][]float64, y []float64, test []int, scratch []bool, seed uint64) (float64, error) {
+	for _, i := range test {
+		scratch[i] = true
+	}
+	defer func() {
+		for _, i := range test {
+			scratch[i] = false
+		}
+	}()
+	var trX [][]float64
+	var trY []float64
+	for i := range X {
+		if !scratch[i] {
+			trX = append(trX, X[i])
+			trY = append(trY, y[i])
+		}
+	}
+	model, err := spec.New(seed)
+	if err != nil {
+		return 0, err
+	}
+	if err := model.Fit(trX, trY); err != nil {
+		return 0, err
+	}
+	var yt, yp []float64
+	for _, i := range test {
+		yt = append(yt, y[i])
+		yp = append(yp, model.Predict(X[i]))
+	}
+	return MAPE(yt, yp), nil
+}
+
+// kfoldMAPE computes the shuffled k-fold MAPE on up to workers goroutines.
+// Fold seeds (seed + fold) and the shuffle are fixed before any fold runs,
+// and the per-fold MAPEs are summed in fold order, so the result is
+// bit-identical for every worker count.
+func kfoldMAPE(spec Spec, X [][]float64, y []float64, k int, seed uint64, workers int) (float64, error) {
 	n, _, err := checkXY(X, y)
 	if err != nil {
 		return 0, err
@@ -19,37 +60,45 @@ func KFoldMAPE(spec Spec, X [][]float64, y []float64, k int, seed uint64) (float
 		return 0, fmt.Errorf("ml: k-fold needs 2 <= k <= n, got k=%d n=%d", k, n)
 	}
 	perm := xrand.New(seed).Perm(n)
-	var total float64
-	for fold := 0; fold < k; fold++ {
-		lo, hi := fold*n/k, (fold+1)*n/k
-		test := perm[lo:hi]
-		inTest := make(map[int]bool, len(test))
-		for _, i := range test {
-			inTest[i] = true
-		}
-		var trX [][]float64
-		var trY []float64
-		for i := 0; i < n; i++ {
-			if !inTest[i] {
-				trX = append(trX, X[i])
-				trY = append(trY, y[i])
+	var folds []float64
+	if parallel.Workers(workers) == 1 {
+		scratch := make([]bool, n)
+		folds = make([]float64, k)
+		for fold := 0; fold < k; fold++ {
+			lo, hi := fold*n/k, (fold+1)*n/k
+			folds[fold], err = evalFold(spec, X, y, perm[lo:hi], scratch, seed+uint64(fold))
+			if err != nil {
+				return 0, err
 			}
 		}
-		model, err := spec.New(seed + uint64(fold))
+	} else {
+		folds, err = parallel.Map(context.Background(), k, workers, func(_ context.Context, fold int) (float64, error) {
+			lo, hi := fold*n/k, (fold+1)*n/k
+			return evalFold(spec, X, y, perm[lo:hi], make([]bool, n), seed+uint64(fold))
+		})
 		if err != nil {
 			return 0, err
 		}
-		if err := model.Fit(trX, trY); err != nil {
-			return 0, err
-		}
-		var yt, yp []float64
-		for _, i := range test {
-			yt = append(yt, y[i])
-			yp = append(yp, model.Predict(X[i]))
-		}
-		total += MAPE(yt, yp)
+	}
+	var total float64
+	for _, m := range folds {
+		total += m
 	}
 	return total / float64(k), nil
+}
+
+// KFoldMAPE estimates generalization MAPE with shuffled k-fold
+// cross-validation: the spec is re-fit on each training fold and evaluated
+// on the held-out fold; the mean MAPE across folds is returned.
+func KFoldMAPE(spec Spec, X [][]float64, y []float64, k int, seed uint64) (float64, error) {
+	return kfoldMAPE(spec, X, y, k, seed, 1)
+}
+
+// KFoldMAPEParallel is KFoldMAPE with the folds trained on a worker pool
+// (workers <= 0 selects GOMAXPROCS). Every fold's model seed derives from
+// the fold index alone, so the estimate is bit-identical to KFoldMAPE.
+func KFoldMAPEParallel(spec Spec, X [][]float64, y []float64, k int, seed uint64, workers int) (float64, error) {
+	return kfoldMAPE(spec, X, y, k, seed, workers)
 }
 
 // GroupSplit partitions a dataset by a group label — the paper's
@@ -93,51 +142,75 @@ type GridPoint struct {
 	MAPE   float64
 }
 
-// GridSearch exhaustively evaluates the Cartesian product of the parameter
-// grid with k-fold CV and returns every point (best first). This reproduces
-// the paper's random-forest tuning over max_depth, n_estimators and
-// max_features.
-func GridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64, k int, seed uint64) ([]GridPoint, error) {
+// enumerateGrid expands the Cartesian product of the parameter grid into one
+// assignment per point, ordered lexicographically by sorted parameter name —
+// a fixed enumeration the evaluation stage can fan out over.
+func enumerateGrid(grid map[string][]float64) []map[string]float64 {
 	names := make([]string, 0, len(grid))
 	for name := range grid {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	var points []GridPoint
-	var rec func(i int, cur map[string]float64) error
-	rec = func(i int, cur map[string]float64) error {
+	var combos []map[string]float64
+	var rec func(i int, cur map[string]float64)
+	rec = func(i int, cur map[string]float64) {
 		if i == len(names) {
-			spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}}
-			for k, v := range base.Params {
-				spec.Params[k] = v
-			}
+			combo := make(map[string]float64, len(cur))
 			for k, v := range cur {
-				spec.Params[k] = v
+				combo[k] = v
 			}
-			m, err := KFoldMAPE(spec, X, y, k, seed)
-			if err != nil {
-				return err
-			}
-			pt := GridPoint{Params: map[string]float64{}, MAPE: m}
-			for k, v := range cur {
-				pt.Params[k] = v
-			}
-			points = append(points, pt)
-			return nil
+			combos = append(combos, combo)
+			return
 		}
 		for _, v := range grid[names[i]] {
 			cur[names[i]] = v
-			if err := rec(i+1, cur); err != nil {
-				return err
-			}
+			rec(i+1, cur)
 		}
 		delete(cur, names[i])
-		return nil
 	}
-	if err := rec(0, map[string]float64{}); err != nil {
+	rec(0, map[string]float64{})
+	return combos
+}
+
+// gridSearch evaluates every grid point with k-fold CV on up to workers
+// goroutines. Each point's CV run depends only on (spec, seed), both fixed
+// at enumeration time, and the final ranking is a stable sort over the fixed
+// enumeration order, so the result is identical for every worker count.
+func gridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64, k int, seed uint64, workers int) ([]GridPoint, error) {
+	combos := enumerateGrid(grid)
+	points, err := parallel.Map(context.Background(), len(combos), workers, func(_ context.Context, i int) (GridPoint, error) {
+		spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}}
+		for k, v := range base.Params {
+			spec.Params[k] = v
+		}
+		for k, v := range combos[i] {
+			spec.Params[k] = v
+		}
+		m, err := KFoldMAPE(spec, X, y, k, seed)
+		if err != nil {
+			return GridPoint{}, err
+		}
+		return GridPoint{Params: combos[i], MAPE: m}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	sort.SliceStable(points, func(a, b int) bool { return points[a].MAPE < points[b].MAPE })
 	return points, nil
+}
+
+// GridSearch exhaustively evaluates the Cartesian product of the parameter
+// grid with k-fold CV and returns every point (best first). This reproduces
+// the paper's random-forest tuning over max_depth, n_estimators and
+// max_features.
+func GridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64, k int, seed uint64) ([]GridPoint, error) {
+	return gridSearch(base, grid, X, y, k, seed, 1)
+}
+
+// GridSearchParallel is GridSearch with the grid points evaluated on a
+// worker pool (workers <= 0 selects GOMAXPROCS). The ranking is identical to
+// the serial search for every worker count.
+func GridSearchParallel(base Spec, grid map[string][]float64, X [][]float64, y []float64, k int, seed uint64, workers int) ([]GridPoint, error) {
+	return gridSearch(base, grid, X, y, k, seed, workers)
 }

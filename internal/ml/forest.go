@@ -1,10 +1,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"dsenergy/internal/parallel"
 	"dsenergy/internal/xrand"
 )
 
@@ -71,51 +72,42 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if f.cfg.ComputeOOB {
 		inBag = make([][]bool, f.cfg.NumTrees)
 	}
-	sem := make(chan struct{}, f.cfg.Workers)
-	errCh := make(chan error, f.cfg.NumTrees)
-	var wg sync.WaitGroup
-	for ti := 0; ti < f.cfg.NumTrees; ti++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ti int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rng := xrand.New(f.cfg.Seed ^ (uint64(ti)+1)*0xd1342543de82ef95)
-			// Bootstrap sample with replacement.
-			bx := make([][]float64, n)
-			by := make([]float64, n)
-			var bag []bool
-			if inBag != nil {
-				bag = make([]bool, n)
+	err = parallel.ForEach(context.Background(), f.cfg.NumTrees, f.cfg.Workers, func(_ context.Context, ti int) error {
+		// The tree's generator derives from the forest seed and the tree
+		// index alone — no pre-split needed, scheduling cannot touch it.
+		rng := xrand.New(f.cfg.Seed ^ (uint64(ti)+1)*0xd1342543de82ef95)
+		// Bootstrap sample with replacement.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		var bag []bool
+		if inBag != nil {
+			bag = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = Xc[j]
+			by[i] = yc[j]
+			if bag != nil {
+				bag[j] = true
 			}
-			for i := 0; i < n; i++ {
-				j := rng.Intn(n)
-				bx[i] = Xc[j]
-				by[i] = yc[j]
-				if bag != nil {
-					bag[j] = true
-				}
+		}
+		if inBag != nil {
+			inBag[ti] = bag
+		}
+		tree := NewTree(f.cfg.MaxDepth, f.cfg.MinLeaf)
+		if mf := f.cfg.MaxFeatures; mf > 0 && mf < d {
+			tree.featurePicker = func(dd int) []int {
+				perm := rng.Perm(dd)
+				return perm[:mf]
 			}
-			if inBag != nil {
-				inBag[ti] = bag
-			}
-			tree := NewTree(f.cfg.MaxDepth, f.cfg.MinLeaf)
-			if mf := f.cfg.MaxFeatures; mf > 0 && mf < d {
-				tree.featurePicker = func(dd int) []int {
-					perm := rng.Perm(dd)
-					return perm[:mf]
-				}
-			}
-			if err := tree.Fit(bx, by); err != nil {
-				errCh <- fmt.Errorf("ml: forest tree %d: %w", ti, err)
-				return
-			}
-			f.trees[ti] = tree
-		}(ti)
-	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", ti, err)
+		}
+		f.trees[ti] = tree
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 

@@ -3,6 +3,7 @@ package ml
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -556,5 +557,50 @@ func TestForestOOBEstimate(t *testing.T) {
 	}
 	if _, n := m2.OOBMAPE(); n != 0 {
 		t.Errorf("OOB computed without ComputeOOB: n=%d", n)
+	}
+}
+
+func TestKFoldMAPEParallelMatchesSerial(t *testing.T) {
+	X, y := synthLinear(xrand.New(21), 120, 0.05)
+	spec := Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 10}}
+	serial, err := KFoldMAPE(spec, X, y, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := KFoldMAPEParallel(spec, X, y, 5, 9, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: parallel k-fold %v != serial %v", workers, par, serial)
+		}
+	}
+}
+
+func TestGridSearchParallelMatchesSerial(t *testing.T) {
+	X, y := synthLinear(xrand.New(22), 80, 0.05)
+	base := Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 8}}
+	grid := map[string][]float64{
+		"max_depth":    {2, 6},
+		"max_features": {0, 2},
+	}
+	serial, err := GridSearch(base, grid, X, y, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GridSearchParallel(base, grid, X, y, 4, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel grid search diverged:\nserial   %+v\nparallel %+v", serial, par)
+	}
+}
+
+func TestKFoldParallelPropagatesFoldError(t *testing.T) {
+	X, y := synthLinear(xrand.New(23), 40, 0.05)
+	if _, err := KFoldMAPEParallel(Spec{Algorithm: "no-such-algo"}, X, y, 4, 1, 4); err == nil {
+		t.Fatal("expected constructor error to propagate from parallel folds")
 	}
 }

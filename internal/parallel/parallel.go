@@ -1,0 +1,134 @@
+// Package parallel is the repository's deterministic fork/join engine: a
+// bounded worker pool whose output is byte-identical to serial execution
+// regardless of scheduling.
+//
+// The engine owns no randomness of its own. Determinism is a contract with
+// the caller: any stochastic state a task needs (an xrand stream, a fault
+// stream, a cloned device) must be derived *before* the tasks are handed to
+// the pool — typically by splitting one parent stream once per task, in task
+// order. Each task then depends only on its own pre-split state, never on
+// which goroutine runs it or in what order, and the engine writes every
+// result into the slot of its task index. Running with one worker, sixteen
+// workers, or under the race detector produces the same bytes.
+//
+// Error handling is fail-fast: the first task error cancels the shared
+// context so in-flight and queued tasks can stop early, and the error
+// recorded for the lowest task index is returned — on an unlucky schedule a
+// lower-index task may have been cancelled before running, so callers that
+// need deterministic *state* on failure must discard partial results (as
+// synergy.ParallelSweep does) rather than interpret which index failed.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: a positive n is used as given,
+// anything else selects GOMAXPROCS (one worker per schedulable CPU).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a pool of at most
+// Workers(workers) goroutines and waits for all of them. With one worker (or
+// n <= 1 tasks) it degrades to a plain loop on the calling goroutine — the
+// serial reference the parallel schedule must be indistinguishable from.
+//
+// The context passed to fn is cancelled as soon as any task fails; fn may
+// ignore it (tasks are typically short) or poll it to abort long work early.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next   int64 // next unclaimed task index
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if cctx.Err() != nil {
+					// Cancelled by an earlier failure (or the caller): stop
+					// claiming work without recording — a cancellation is not
+					// this task's error.
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if first != nil {
+		return first
+	}
+	// No task failed; surface a caller-side cancellation if there was one.
+	return ctx.Err()
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results in task
+// order: out[i] is fn's value for index i, wherever and whenever it ran.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

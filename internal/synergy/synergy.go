@@ -7,12 +7,14 @@
 package synergy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/kernels"
+	"dsenergy/internal/parallel"
 )
 
 // Platform owns the set of visible devices. It mirrors SYnergy's runtime,
@@ -369,16 +371,146 @@ func MeasureAt(q *Queue, w Workload, mhz, reps int) (Measurement, error) {
 	return Measurement{FreqMHz: mhz, EffFreqMHz: effMHz, TimeS: sumT / n, EnergyJ: sumE / n}, nil
 }
 
-// Sweep measures w at every frequency in freqs (reps repetitions each) and
-// returns the observations in the same order.
-func Sweep(q *Queue, w Workload, freqs []int, reps int) ([]Measurement, error) {
-	out := make([]Measurement, 0, len(freqs))
-	for _, f := range freqs {
-		m, err := MeasureAt(q, w, f, reps)
-		if err != nil {
-			return nil, err
+// sweepTask pairs one requested frequency with the private queue clone that
+// will measure it.
+type sweepTask struct {
+	freq  int
+	clone *Queue
+}
+
+// forkSweepTasks derives one private queue clone per frequency, in frequency
+// order, under the parent's lock. Each clone gets a forked device (split
+// noise stream, fresh energy counter, shared analytic cache) and — when fault
+// injection is active — a forked per-device injector, so every frequency's
+// stochastic state is fixed here, before any task reaches a worker pool.
+// This is the pre-split step of the determinism contract: a clone's draws
+// depend only on its position in freqs, never on scheduling.
+func (q *Queue) forkSweepTasks(freqs []int) []sweepTask {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tasks := make([]sweepTask, len(freqs))
+	for i, f := range freqs {
+		clone := &Queue{dev: q.dev.Fork(), pinned: q.pinned}
+		if q.inj != nil {
+			clone.inj = q.inj.Fork()
 		}
-		out = append(out, m)
+		tasks[i] = sweepTask{freq: f, clone: clone}
+	}
+	return tasks
+}
+
+// absorbSweep folds the clones' observable state back into q in task order:
+// event logs concatenate, energy counters and fault statistics accumulate,
+// and injector state merges. Because absorption is ordered by task index, the
+// parent's state after a sweep is independent of how the pool scheduled it.
+func (q *Queue) absorbSweep(tasks []sweepTask) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, t := range tasks {
+		c := t.clone
+		q.events = append(q.events, c.events...)
+		q.dev.AddEnergyJ(c.dev.EnergyCounterJ())
+		q.stats.absorb(c.stats)
+		if q.inj != nil && c.inj != nil {
+			q.inj.Absorb(c.inj)
+		}
+	}
+}
+
+// absorb accumulates another queue's fault counters into s.
+func (s *FaultStats) absorb(o FaultStats) {
+	s.Transient += o.Transient
+	s.Permanent += o.Permanent
+	s.Throttled += o.Throttled
+	s.ClockRejects += o.ClockRejects
+	s.WastedTimeS += o.WastedTimeS
+	s.WastedEnergyJ += o.WastedEnergyJ
+}
+
+// sweep is the shared engine behind Sweep and ParallelSweep: fork one clone
+// per frequency, measure every frequency on its own clone (serially or on a
+// worker pool — the bytes are identical either way), then absorb the clones
+// back in frequency order. On any error nothing is absorbed: the parent
+// queue is left exactly as it was, so even failed sweeps are deterministic
+// regardless of which tasks happened to run before cancellation.
+func sweep(q *Queue, w Workload, freqs []int, reps, workers int) ([]Measurement, error) {
+	tasks := q.forkSweepTasks(freqs)
+	out := make([]Measurement, len(freqs))
+	err := parallel.ForEach(context.Background(), len(tasks), workers, func(_ context.Context, i int) error {
+		m, err := MeasureAt(tasks[i].clone, w, tasks[i].freq, reps)
+		if err != nil {
+			return err
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	q.absorbSweep(tasks)
+	return out, nil
+}
+
+// Sweep measures w at every frequency in freqs (reps repetitions each) and
+// returns the observations in the same order. Each frequency runs on a
+// private clone of q forked in frequency order, so Sweep's output is defined
+// purely by (queue state, workload, freqs, reps) — ParallelSweep produces the
+// same bytes from the same inputs.
+func Sweep(q *Queue, w Workload, freqs []int, reps int) ([]Measurement, error) {
+	return sweep(q, w, freqs, reps, 1)
+}
+
+// ParallelSweep is Sweep on a bounded worker pool: workers <= 0 selects
+// GOMAXPROCS, workers == 1 is exactly Sweep. The per-frequency clones are
+// forked before the pool starts, so the measurements, the parent queue's
+// event log, its energy counter and its fault statistics are byte-identical
+// to the serial sweep for every worker count and schedule.
+func ParallelSweep(q *Queue, w Workload, freqs []int, reps, workers int) ([]Measurement, error) {
+	return sweep(q, w, freqs, reps, workers)
+}
+
+// forkWorkloadTasks pre-splits clones for a multi-workload sweep set: for
+// each workload, in order, one clone per frequency. All forking happens here,
+// before any measurement, so SweepSet's task pool can interleave workloads
+// freely while drawing exactly the split sequence a sequence of Sweep calls
+// would have drawn.
+func forkWorkloadTasks(q *Queue, workloads int, freqs []int) [][]sweepTask {
+	sets := make([][]sweepTask, workloads)
+	for i := range sets {
+		sets[i] = q.forkSweepTasks(freqs)
+	}
+	return sets
+}
+
+// SweepSet sweeps several workloads over the same frequency grid through one
+// shared worker pool and returns per-workload measurement slices in input
+// order. It is byte-identical to calling Sweep(q, w, freqs, reps) for each
+// workload in order — the clones are forked workload-by-workload up front,
+// and absorbed workload-by-workload afterwards — but exposes all
+// len(workloads)×len(freqs) tasks to the pool at once, which is what makes
+// dataset generation scale past the per-sweep task count.
+func SweepSet(q *Queue, workloads []Workload, freqs []int, reps, workers int) ([][]Measurement, error) {
+	sets := forkWorkloadTasks(q, len(workloads), freqs)
+	nf := len(freqs)
+	out := make([][]Measurement, len(workloads))
+	for i := range out {
+		out[i] = make([]Measurement, nf)
+	}
+	err := parallel.ForEach(context.Background(), len(workloads)*nf, workers, func(_ context.Context, ti int) error {
+		wi, fi := ti/nf, ti%nf
+		t := sets[wi][fi]
+		m, err := MeasureAt(t.clone, workloads[wi], t.freq, reps)
+		if err != nil {
+			return err
+		}
+		out[wi][fi] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, set := range sets {
+		q.absorbSweep(set)
 	}
 	return out, nil
 }

@@ -1,7 +1,9 @@
 package synergy
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -418,4 +420,145 @@ func TestFaultedSubmitChargesPartialWork(t *testing.T) {
 	if st.Permanent != 1 || st.WastedEnergyJ <= 0 {
 		t.Errorf("FaultStats = %+v, want Permanent=1 and wasted energy", st)
 	}
+}
+
+// sweepPair builds two identically seeded single-device queues, optionally
+// attaching a fresh injector for the same fault plan to each, so one side can
+// run serially and the other in parallel.
+func sweepPair(t *testing.T, plan *faults.Plan) (qa, qb *Queue) {
+	t.Helper()
+	build := func() *Queue {
+		p, err := NewPlatform(11, gpusim.V100Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p.Queues()[0]
+		if plan != nil {
+			inj, err := faults.NewInjector(*plan, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.SetFaultInjector(inj.Device(0))
+		}
+		return q
+	}
+	return build(), build()
+}
+
+// requireQueuesIdentical asserts every observable byte of the two queues
+// agrees: event logs, energy counters and fault statistics.
+func requireQueuesIdentical(t *testing.T, qa, qb *Queue, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(qa.Events(), qb.Events()) {
+		t.Errorf("%s: event logs diverged", label)
+	}
+	if !reflect.DeepEqual(qa.EnergyCounterJ(), qb.EnergyCounterJ()) {
+		t.Errorf("%s: energy counters diverged: %v vs %v", label, qa.EnergyCounterJ(), qb.EnergyCounterJ())
+	}
+	if !reflect.DeepEqual(qa.FaultStats(), qb.FaultStats()) {
+		t.Errorf("%s: fault stats diverged: %+v vs %+v", label, qa.FaultStats(), qb.FaultStats())
+	}
+}
+
+func TestParallelSweepMatchesSweep(t *testing.T) {
+	for _, workers := range []int{0, 2, 8} {
+		qa, qb := sweepPair(t, nil)
+		freqs := qa.SupportedFreqsMHz()
+		serial, err := Sweep(qa, sweepWorkload{testProfile()}, freqs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelSweep(qb, sweepWorkload{testProfile()}, freqs, 3, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: measurements diverged from serial sweep", workers)
+		}
+		requireQueuesIdentical(t, qa, qb, fmt.Sprintf("workers=%d", workers))
+	}
+}
+
+func TestParallelSweepMatchesSweepUnderActiveFaults(t *testing.T) {
+	// A plan with live throttle windows: every partition of the sweep sees its
+	// first two submissions capped, so fault handling, effective-clock
+	// reporting and stats accumulation are all on the measured path.
+	plan := faults.Plan{
+		Seed:      7,
+		Throttles: []faults.Throttle{{Device: 0, FromSubmit: 1, ToSubmit: 3, CapMHz: 900}},
+	}
+	qa, qb := sweepPair(t, &plan)
+	freqs := qa.SupportedFreqsMHz()
+	serial, err := Sweep(qa, sweepWorkload{testProfile()}, freqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelSweep(qb, sweepWorkload{testProfile()}, freqs, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("measurements diverged under an active fault plan")
+	}
+	if st := qb.FaultStats(); st.Throttled == 0 {
+		t.Error("fault plan was not actually exercised (no throttled submissions)")
+	}
+	requireQueuesIdentical(t, qa, qb, "faulted sweep")
+}
+
+func TestSweepFailureLeavesQueueUntouched(t *testing.T) {
+	// The device dies partway through every sweep partition (failure windows
+	// are partition-relative, so AfterSubmits 1 kills the second repetition of
+	// each frequency): serial and parallel must both fail, and neither may
+	// leave partial events, energy or fault counters on the parent queue —
+	// the error path is part of the determinism contract.
+	plan := faults.Plan{
+		Seed:     7,
+		Failures: []faults.DeviceFailure{{Device: 0, AfterSubmits: 1}},
+	}
+	qa, qb := sweepPair(t, &plan)
+	freqs := qa.SupportedFreqsMHz()
+	if _, err := Sweep(qa, sweepWorkload{testProfile()}, freqs, 3); err == nil {
+		t.Fatal("serial sweep should fail on the scheduled device loss")
+	}
+	if _, err := ParallelSweep(qb, sweepWorkload{testProfile()}, freqs, 3, 8); err == nil {
+		t.Fatal("parallel sweep should fail on the scheduled device loss")
+	}
+	for label, q := range map[string]*Queue{"serial": qa, "parallel": qb} {
+		if n := len(q.Events()); n != 0 {
+			t.Errorf("%s: failed sweep left %d events on the parent queue", label, n)
+		}
+		if !reflect.DeepEqual(q.EnergyCounterJ(), 0.0) {
+			t.Errorf("%s: failed sweep charged %v J to the parent queue", label, q.EnergyCounterJ())
+		}
+		if !reflect.DeepEqual(q.FaultStats(), FaultStats{}) {
+			t.Errorf("%s: failed sweep left fault stats %+v", label, q.FaultStats())
+		}
+	}
+}
+
+func TestSweepSetMatchesSequentialSweeps(t *testing.T) {
+	p2 := testProfile()
+	p2.Name = "k2"
+	p2.WorkItems = 1 << 14
+	workloads := []Workload{sweepWorkload{testProfile()}, sweepWorkload{p2}}
+
+	qa, qb := sweepPair(t, nil)
+	freqs := qa.SupportedFreqsMHz()
+	var want [][]Measurement
+	for _, w := range workloads {
+		ms, err := Sweep(qa, w, freqs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ms)
+	}
+	got, err := SweepSet(qb, workloads, freqs, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("SweepSet measurements diverged from sequential Sweep calls")
+	}
+	requireQueuesIdentical(t, qa, qb, "sweep set")
 }

@@ -31,6 +31,18 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
+// SplitN derives n independent generators from r in one call — the
+// pre-split idiom of the parallel execution engine: the streams are created
+// in task order *before* any task is handed to a worker pool, so each task's
+// randomness depends only on its index, never on scheduling.
+func (r *Rand) SplitN(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Uint64 returns the next value in the stream.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -136,3 +136,30 @@ func TestShufflePermutes(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitNMatchesRepeatedSplit(t *testing.T) {
+	a, b := New(7), New(7)
+	got := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		if got[i].Uint64() != want.Uint64() {
+			t.Fatalf("SplitN stream %d diverges from sequential Split", i)
+		}
+	}
+	// The parent streams continue identically after the splits.
+	if a.Uint64() != b.Uint64() {
+		t.Error("SplitN advanced the parent differently from repeated Split")
+	}
+}
+
+func TestSplitNStreamsDecorrelated(t *testing.T) {
+	streams := New(7).SplitN(3)
+	seen := map[uint64]bool{}
+	for _, s := range streams {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatal("split streams emitted identical first values")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# scripts/bench.sh — perf baseline for the deterministic parallel engine.
+#
+# Runs the serial-vs-parallel benchmarks and emits BENCH_parallel.json with
+# the wall time of each arm and the parallel speedup, so perf regressions in
+# the engine are diffable across commits:
+#
+#   ./scripts/bench.sh            # writes ./BENCH_parallel.json
+#   OUT=/tmp/b.json ./scripts/bench.sh
+#
+# BENCHTIME controls averaging (default 3x; use 1x for a smoke run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_parallel.json}
+BENCHTIME=${BENCHTIME:-3x}
+
+BENCH_GOMAXPROCS=${GOMAXPROCS:-$(nproc)}
+export BENCH_GOMAXPROCS
+
+raw=$(go test -bench 'SweepSerialVsParallel|KFoldParallel' -benchtime "$BENCHTIME" -run '^$' .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$OUT" '
+/^BenchmarkSweepSerialVsParallel\/serial/   { sweep_s = $3 }
+/^BenchmarkSweepSerialVsParallel\/parallel/ { sweep_p = $3 }
+/^BenchmarkKFoldParallel\/serial/           { kfold_s = $3 }
+/^BenchmarkKFoldParallel\/parallel/         { kfold_p = $3 }
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    if (sweep_s == "" || sweep_p == "" || kfold_s == "" || kfold_p == "") {
+        print "bench.sh: missing benchmark rows in go test output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"gomaxprocs\": %d,\n", ENVIRON["BENCH_GOMAXPROCS"] >> out
+    printf "  \"sweep\": {\"serial_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.3f},\n", sweep_s, sweep_p, sweep_s / sweep_p >> out
+    printf "  \"kfold\": {\"serial_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.3f}\n", kfold_s, kfold_p, kfold_s / kfold_p >> out
+    printf "}\n" >> out
+}'
+
+echo "wrote $OUT"
