@@ -31,18 +31,35 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-# The resilience layer's retry/requeue concurrency and the deterministic
-# parallel engine are where a scheduling race would hide: run their packages
-# twice under the race detector so goroutine interleavings get a second roll
-# of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel"
-go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel
+# The resilience layer's retry/requeue concurrency, the deterministic
+# parallel engine and the observability registry (counters bumped from worker
+# goroutines, trace fork/absorb) are where a scheduling race would hide: run
+# their packages twice under the race detector so goroutine interleavings get
+# a second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs
 
 # Parallel-vs-serial equivalence smoke: regenerate a figure and the cluster
 # resilience study with Jobs=1 and Jobs=0 under the race detector and require
 # byte-identical results (the engine's core contract, end to end).
 echo "==> parallel equivalence smoke (Jobs=0 vs Jobs=1)"
 go test -race -run 'TestJobsInvariance' ./internal/experiments
+
+# Observability smoke: enabling -metrics/-trace must not change one result
+# byte, and the exports themselves must be identical for every -j value.
+echo "==> observability smoke (reproduce -quick with vs without -metrics/-trace)"
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go build -o "$obsdir/reproduce" ./cmd/reproduce
+"$obsdir/reproduce" -quick -out "$obsdir/plain" >/dev/null
+"$obsdir/reproduce" -quick -out "$obsdir/observed" -j 1 \
+    -metrics "$obsdir/m1.json" -trace "$obsdir/t1.txt" >/dev/null
+"$obsdir/reproduce" -quick -out "$obsdir/observed2" -j 0 \
+    -metrics "$obsdir/m2.json" -trace "$obsdir/t2.txt" >/dev/null
+diff -r "$obsdir/plain" "$obsdir/observed"
+diff -r "$obsdir/plain" "$obsdir/observed2"
+diff "$obsdir/m1.json" "$obsdir/m2.json"
+diff "$obsdir/t1.txt" "$obsdir/t2.txt"
 
 echo "==> dsalint ./..."
 go run ./cmd/dsalint ./...

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	characterize [-fig all|1|2|...|10] [-quick] [-j N] [-stride N] [-reps N]
+//	             [-metrics m.json] [-trace t.txt] [-profile p.txt]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"dsenergy/internal/cliutil"
 	"dsenergy/internal/experiments"
 )
 
@@ -23,7 +25,9 @@ func main() {
 	stride := flag.Int("stride", 0, "override frequency stride (0 = config default)")
 	reps := flag.Int("reps", 0, "override measurement repetitions (0 = config default)")
 	format := flag.String("format", "text", "output format: text or csv")
+	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
+	cliutil.ValidateJobs("characterize", *jobs)
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "characterize: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)
@@ -34,6 +38,7 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Jobs = *jobs
+	cfg.Obs = obsFlags.Observer()
 	if *stride > 0 {
 		cfg.FreqStride = *stride
 	}
@@ -73,7 +78,11 @@ func main() {
 		for _, id := range order {
 			run(id)
 		}
-		return
+	} else {
+		run(*fig)
 	}
-	run(*fig)
+	if err := obsFlags.Write(cfg.Obs); err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(1)
+	}
 }

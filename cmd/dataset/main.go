@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"dsenergy/internal/cliutil"
 	"dsenergy/internal/experiments"
 	"dsenergy/internal/synergy"
 )
@@ -24,13 +25,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	out := flag.String("o", "", "output file (default stdout)")
+	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
+	cliutil.ValidateJobs("dataset", *jobs)
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Jobs = *jobs
+	cfg.Obs = obsFlags.Observer()
 	p, err := cfg.Platform()
 	if err != nil {
 		fail(err)
@@ -78,6 +82,9 @@ func main() {
 			len(ds.Samples), len(ds.Inputs()), ds.Device)
 	default:
 		fail(fmt.Errorf("unknown app %q (want cronos or ligen)", *app))
+	}
+	if err := obsFlags.Write(cfg.Obs); err != nil {
+		fail(err)
 	}
 }
 

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	evalmodels [-fig 13|14|all] [-ablations] [-quick] [-j N]
+//	           [-metrics m.json] [-trace t.txt] [-profile p.txt]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"dsenergy/internal/cliutil"
 	"dsenergy/internal/experiments"
 )
 
@@ -25,13 +27,16 @@ func main() {
 	tuners := flag.Bool("tuners", false, "also run the model-vs-online tuner comparison")
 	quick := flag.Bool("quick", false, "reduced-fidelity sweep (faster)")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
+	cliutil.ValidateJobs("evalmodels", *jobs)
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Jobs = *jobs
+	cfg.Obs = obsFlags.Observer()
 
 	if *fig == "13" || *fig == "all" {
 		r, err := cfg.Fig13()
@@ -78,6 +83,9 @@ func main() {
 		}
 		fmt.Printf("   measured: speedup %.3f, energy saving %.1f%%\n",
 			r.Outcome.Speedup(), r.Outcome.EnergySaving()*100)
+	}
+	if err := obsFlags.Write(cfg.Obs); err != nil {
+		fail(err)
 	}
 }
 

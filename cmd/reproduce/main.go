@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	reproduce [-out results] [-quick] [-j N]
+//	reproduce [-out results] [-quick] [-j N] [-metrics m.json] [-trace t.txt] [-profile p.txt]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"dsenergy/internal/cliutil"
 	"dsenergy/internal/experiments"
 )
 
@@ -25,13 +26,16 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "reduced-fidelity configuration")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
+	cliutil.ValidateJobs("reproduce", *jobs)
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Jobs = *jobs
+	cfg.Obs = obsFlags.Observer()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
@@ -171,6 +175,9 @@ func main() {
 		failed = experiments.RenderShapeChecks(f, checks)
 		return nil
 	})
+	if err := obsFlags.Write(cfg.Obs); err != nil {
+		fail(err)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "reproduce: %d shape checks FAILED (see shapechecks.txt)\n", failed)
 		os.Exit(1)

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	trainmodel [-quick] [-j N] [-compare] [-gridsearch] [-tables]
+//	           [-metrics m.json] [-trace t.txt] [-profile p.txt]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"dsenergy/internal/cliutil"
 	"dsenergy/internal/core"
 	"dsenergy/internal/experiments"
 )
@@ -25,13 +27,16 @@ func main() {
 	gridsearch := flag.Bool("gridsearch", false, "run the random-forest grid search (slow)")
 	loocv := flag.Bool("loocv", true, "run the leave-one-input-out accuracy report")
 	tables := flag.Bool("tables", true, "print the feature tables (Tables 1-2)")
+	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
+	cliutil.ValidateJobs("trainmodel", *jobs)
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Jobs = *jobs
+	cfg.Obs = obsFlags.Observer()
 
 	if *tables {
 		experiments.RenderTable1(os.Stdout)
@@ -88,6 +93,9 @@ func main() {
 			fail(err)
 		}
 		experiments.RenderGridSearch(os.Stdout, gs)
+	}
+	if err := obsFlags.Write(cfg.Obs); err != nil {
+		fail(err)
 	}
 }
 

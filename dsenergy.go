@@ -20,7 +20,9 @@
 //   - the paper's contribution: domain-specific energy/runtime models driven
 //     by input characteristics (core), with Pareto-front tooling (pareto);
 //   - a harness regenerating every table and figure of the evaluation
-//     (experiments) — see also the testing.B benchmarks in bench_test.go.
+//     (experiments) — see also the testing.B benchmarks in bench_test.go;
+//   - a deterministic observability layer — metrics, simulated-time traces
+//     and wall-clock profiles that never perturb a result (obs).
 //
 // The facade re-exports the types a downstream user needs, so typical
 // programs import only this package:
@@ -39,6 +41,7 @@ import (
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/ligen"
 	"dsenergy/internal/ml"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/pareto"
 	"dsenergy/internal/synergy"
 )
@@ -171,6 +174,24 @@ func LeaveOneInputOut(ds *Dataset, spec ModelSpec, seed uint64) ([]InputAccuracy
 // ParetoFront extracts the Pareto-optimal subset of points (maximize
 // speedup, minimize normalized energy).
 func ParetoFront(points []ParetoPoint) []ParetoPoint { return pareto.Front(points) }
+
+// Observability (deterministic metrics, simulated-time traces, wall-clock
+// profiles — see internal/obs).
+type (
+	// Observer bundles the three observability signals; attach one with
+	// Platform.SetObserver or ExperimentConfig.Obs. A nil Observer disables
+	// all instrumentation, and attaching one never changes a result byte.
+	Observer = obs.Observer
+	// MetricRegistry collects counters, gauges and histograms whose
+	// deterministic export is byte-identical across runs and worker counts.
+	MetricRegistry = obs.Registry
+	// TraceSpan is one simulated-time span of a trace export.
+	TraceSpan = obs.Span
+)
+
+// NewObserver returns an observer with metrics, tracing and profiling
+// enabled.
+func NewObserver() *Observer { return obs.NewObserver() }
 
 // Experiment harness.
 type (

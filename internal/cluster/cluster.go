@@ -16,12 +16,14 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"dsenergy/internal/cronos"
 	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/kernels"
 	"dsenergy/internal/ligen"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/synergy"
 )
 
@@ -48,6 +50,42 @@ type Cluster struct {
 	inj  *faults.Injector
 	rc   ResilienceConfig
 	dead []bool
+	// obsv records cluster-level spans (device runs, steps, rounds, failover
+	// and checkpoint events) on simulated time; om holds the pre-resolved
+	// counter handles. Both are no-ops when unset. Spans are only appended
+	// from the barrier-aggregation sections, which run in device-index order,
+	// so the trace is schedule-independent.
+	obsv *obs.Observer
+	om   clusterObsHandles
+}
+
+// clusterObsHandles are the cluster's pre-resolved metric handles; the zero
+// value disables every increment.
+type clusterObsHandles struct {
+	retries     *obs.Counter
+	failovers   *obs.Counter
+	requeued    *obs.Counter
+	checkpoints *obs.Counter
+}
+
+// SetObserver attaches an observability sink to the cluster and every
+// device queue in it (nil detaches). Call before runs start.
+func (c *Cluster) SetObserver(o *obs.Observer) {
+	c.obsv = o
+	if o == nil {
+		c.om = clusterObsHandles{}
+	} else {
+		m := o.Metrics()
+		c.om = clusterObsHandles{
+			retries:     m.Counter("cluster_retries_total"),
+			failovers:   m.Counter("cluster_failovers_total"),
+			requeued:    m.Counter("cluster_requeued_shards_total"),
+			checkpoints: m.Counter("cluster_checkpoints_total"),
+		}
+	}
+	for _, q := range c.queues {
+		q.SetObserver(o)
+	}
 }
 
 // New builds an n-device homogeneous cluster of the given spec. Devices are
@@ -179,6 +217,8 @@ func (c *Cluster) RunCronos(nx, ny, nz, steps int) (Result, error) {
 		if t > slowest {
 			slowest = t
 		}
+		c.obsv.Trace().Add("cluster.cronos.device", t,
+			obs.L("device", q.Spec().Name))
 	}
 	if n > 1 {
 		res.CommTimeS = substeps * commPerSubstep
@@ -188,6 +228,8 @@ func (c *Cluster) RunCronos(nx, ny, nz, steps int) (Result, error) {
 	// communication time.
 	idleW := c.queues[0].Spec().IdleW
 	res.EnergyJ += res.CommTimeS * idleW * float64(n)
+	c.obsv.Trace().Add("cluster.cronos", res.TimeS,
+		obs.L("devices", strconv.Itoa(n)), obs.L("steps", strconv.Itoa(steps)))
 	return res, nil
 }
 
@@ -226,8 +268,12 @@ func (c *Cluster) ScreenLiGen(in ligen.Input) (Result, error) {
 		if t > slowest {
 			slowest = t
 		}
+		c.obsv.Trace().Add("cluster.ligen.device", t,
+			obs.L("device", q.Spec().Name))
 	}
 	res.TimeS = slowest
+	c.obsv.Trace().Add("cluster.ligen", res.TimeS,
+		obs.L("devices", strconv.Itoa(n)), obs.L("ligands", strconv.Itoa(in.Ligands)))
 	return res, nil
 }
 

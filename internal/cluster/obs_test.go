@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dsenergy/internal/faults"
+	"dsenergy/internal/ligen"
+	"dsenergy/internal/obs"
+)
+
+func TestObserverDoesNotPerturbClusterRuns(t *testing.T) {
+	in := ligen.Input{Ligands: 4096, Atoms: 63, Fragments: 8}
+	plain, err := newCluster(t, 4).ScreenLiGen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := newCluster(t, 4)
+	observed.SetObserver(obs.NewObserver())
+	got, err := observed.ScreenLiGen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, got) {
+		t.Errorf("observer changed ScreenLiGen result:\n%+v\nvs\n%+v", plain, got)
+	}
+
+	cp, err := newCluster(t, 4).RunCronos(40, 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := newCluster(t, 4)
+	oc.SetObserver(obs.NewObserver())
+	cg, err := oc.RunCronos(40, 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, cg) {
+		t.Errorf("observer changed RunCronos result:\n%+v\nvs\n%+v", cp, cg)
+	}
+}
+
+func TestResilientRunRecordsFailoverAndRequeueMetrics(t *testing.T) {
+	in := ligen.Input{Ligands: 4096, Atoms: 63, Fragments: 8}
+	plan := faults.Plan{
+		Seed:     5,
+		Failures: []faults.DeviceFailure{{Device: 2, AfterSubmits: 4}},
+	}
+	c := resilientCluster(t, 4, plan)
+	o := obs.NewObserver()
+	c.SetObserver(o)
+	res, err := c.ScreenLiGen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := o.Metrics()
+	if got := m.Counter("cluster_failovers_total").Value(); got != uint64(res.Failovers) {
+		t.Errorf("failover counter = %d, Result says %d", got, res.Failovers)
+	}
+	if m.Counter("cluster_requeued_shards_total").Value() == 0 {
+		t.Error("requeue counter not incremented despite a device loss")
+	}
+	var tr bytes.Buffer
+	if err := o.WriteTraceText(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.String(), "cluster.failover") {
+		t.Errorf("trace missing failover event:\n%s", tr.String())
+	}
+	if !strings.Contains(tr.String(), "cluster.ligen.round") {
+		t.Errorf("trace missing round spans:\n%s", tr.String())
+	}
+}
+
+func TestResilientCronosRecordsCheckpointsAndRetries(t *testing.T) {
+	plan := faults.Plan{Seed: 11, TransientProb: 0.15}
+	c := newCluster(t, 4)
+	if err := c.SetFaultPlan(plan, ResilienceConfig{MaxRetries: 12}); err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver()
+	c.SetObserver(o)
+	res, err := c.RunCronos(40, 16, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := o.Metrics()
+	if got := m.Counter("cluster_retries_total").Value(); got != uint64(res.Retries) {
+		t.Errorf("retry counter = %d, Result says %d", got, res.Retries)
+	}
+	if m.Counter("cluster_checkpoints_total").Value() == 0 {
+		t.Error("checkpoint counter not incremented over 10 steps (interval 8)")
+	}
+	var tr bytes.Buffer
+	if err := o.WriteTraceText(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.String(), "cluster.cronos.step") {
+		t.Errorf("trace missing step spans:\n%s", tr.String())
+	}
+	if !strings.Contains(tr.String(), "cluster.checkpoint") {
+		t.Errorf("trace missing checkpoint span:\n%s", tr.String())
+	}
+}
+
+func TestResilientTraceIsSeedDeterministic(t *testing.T) {
+	// Same seed, same plan, two fresh clusters: every export byte agrees even
+	// though per-device work runs on one goroutine per device.
+	run := func() (string, string) {
+		plan := faults.Plan{
+			Seed:          5,
+			TransientProb: 0.1,
+			Failures:      []faults.DeviceFailure{{Device: 2, AfterSubmits: 4}},
+		}
+		c := resilientCluster(t, 4, plan)
+		o := obs.NewObserver()
+		c.SetObserver(o)
+		if _, err := c.ScreenLiGen(ligen.Input{Ligands: 4096, Atoms: 63, Fragments: 8}); err != nil {
+			t.Fatal(err)
+		}
+		var m, tr bytes.Buffer
+		if err := o.WriteMetricsText(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.WriteTraceText(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), tr.String()
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if m1 != m2 {
+		t.Errorf("metric exports differ across identical runs:\n%s\nvs\n%s", m1, m2)
+	}
+	if t1 != t2 {
+		t.Errorf("trace exports differ across identical runs:\n%s\nvs\n%s", t1, t2)
+	}
+}

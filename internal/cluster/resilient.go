@@ -27,11 +27,13 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"dsenergy/internal/cronos"
 	"dsenergy/internal/faults"
 	"dsenergy/internal/ligen"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/synergy"
 )
 
@@ -278,6 +280,7 @@ func (c *Cluster) runCronosResilient(nx, ny, nz, steps int) (Result, error) {
 			res.PerDevice[di] += o.busyTimeS()
 			res.EnergyJ += o.goodEnergyJ + o.wasteEnergyJ + o.backoffTimeS*idleW
 			res.Retries += o.retries
+			c.om.retries.Add(uint64(o.retries))
 			res.WastedTimeS += o.wasteTimeS
 			res.WastedEnergyJ += o.wasteEnergyJ
 			res.BackoffTimeS += o.backoffTimeS
@@ -297,8 +300,12 @@ func (c *Cluster) runCronosResilient(nx, ny, nz, steps int) (Result, error) {
 			// last checkpoint — it will be re-executed by the survivors.
 			for _, di := range newlyDead {
 				c.dead[di] = true
+				c.obsv.Trace().Add("cluster.failover", 0,
+					obs.L("device", c.queues[di].Spec().Name),
+					obs.L("step", strconv.Itoa(step)))
 			}
 			res.Failovers += len(newlyDead)
+			c.om.failovers.Add(uint64(len(newlyDead)))
 			aliveIdx = c.alive()
 			if len(aliveIdx) == 0 {
 				return Result{}, fmt.Errorf("cluster: all %d devices failed at step %d", len(c.queues), step)
@@ -313,6 +320,8 @@ func (c *Cluster) runCronosResilient(nx, ny, nz, steps int) (Result, error) {
 				res.TimeS += ckptWriteS
 				res.CheckpointTimeS += ckptWriteS
 				res.EnergyJ += ckptWriteS * idleW * float64(len(aliveIdx))
+				c.obsv.Trace().Add("cluster.restore", ckptWriteS,
+					obs.L("step", strconv.Itoa(lastCkpt)))
 			}
 			step = lastCkpt + 1
 			continue
@@ -330,11 +339,17 @@ func (c *Cluster) runCronosResilient(nx, ny, nz, steps int) (Result, error) {
 			res.EnergyJ += ckptWriteS * idleW * float64(n)
 			lastCkpt = step
 			sinceCkptTimeS, sinceCkptEnergyJ = 0, 0
+			c.om.checkpoints.Inc()
+			c.obsv.Trace().Add("cluster.checkpoint", ckptWriteS,
+				obs.L("step", strconv.Itoa(step)))
 		} else {
 			sinceCkptTimeS += stepSlowS + commS
 			sinceCkptEnergyJ += stepGoodEnergyJ + commS*idleW*float64(n)
 		}
 		res.TimeS += stepWallS
+		c.obsv.Trace().Add("cluster.cronos.step", stepWallS,
+			obs.L("step", strconv.Itoa(step)),
+			obs.L("devices", strconv.Itoa(n)))
 		step++
 	}
 	res.SurvivingDevices = len(aliveIdx)
@@ -390,7 +405,7 @@ func (c *Cluster) screenLiGenResilient(in ligen.Input) (Result, error) {
 		died     bool
 	}
 
-	for len(pending) > 0 {
+	for round := 0; len(pending) > 0; round++ {
 		if len(aliveIdx) == 0 {
 			return Result{}, fmt.Errorf("cluster: all %d devices failed with %d shards unscreened", len(c.queues), len(pending))
 		}
@@ -452,6 +467,7 @@ func (c *Cluster) screenLiGenResilient(in ligen.Input) (Result, error) {
 			res.PerDevice[di] += busy
 			res.EnergyJ += d.out.goodEnergyJ + d.out.wasteEnergyJ + d.out.backoffTimeS*idleW
 			res.Retries += d.out.retries
+			c.om.retries.Add(uint64(d.out.retries))
 			res.WastedTimeS += d.out.wasteTimeS
 			res.WastedEnergyJ += d.out.wasteEnergyJ
 			res.BackoffTimeS += d.out.backoffTimeS
@@ -461,10 +477,19 @@ func (c *Cluster) screenLiGenResilient(in ligen.Input) (Result, error) {
 			if d.died {
 				c.dead[di] = true
 				res.Failovers++
+				c.om.failovers.Inc()
+				c.obsv.Trace().Add("cluster.failover", 0,
+					obs.L("device", c.queues[di].Spec().Name),
+					obs.L("round", strconv.Itoa(round)))
 			}
 			requeue = append(requeue, d.stranded...)
 		}
 		res.TimeS += roundSlowS
+		c.obsv.Trace().Add("cluster.ligen.round", roundSlowS,
+			obs.L("round", strconv.Itoa(round)),
+			obs.L("devices", strconv.Itoa(len(aliveIdx))),
+			obs.L("shards", strconv.Itoa(len(pending))))
+		c.om.requeued.Add(uint64(len(requeue)))
 		pending = requeue
 		aliveIdx = c.alive()
 	}

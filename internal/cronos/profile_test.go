@@ -60,7 +60,7 @@ func TestWorkloadMemoryBoundAtLargeGrid(t *testing.T) {
 	// The paper's central Cronos observation (Figures 4-5): at large grids
 	// the stencil is memory bound, so raising the clock above the default
 	// buys almost nothing while lowering it saves energy.
-	dev := gpusim.MustNew(gpusim.V100Spec(), 1)
+	dev := mustV100(t)
 	w, _ := NewWorkload(160, 64, 64, 4)
 	def := dev.Spec().BaselineFreqMHz()
 	fmax := dev.Spec().FMaxMHz()
@@ -90,7 +90,7 @@ func TestWorkloadMemoryBoundAtLargeGrid(t *testing.T) {
 func TestWorkloadSmallGridLaunchBound(t *testing.T) {
 	// Small grids (10x4x4) are dominated by launch overhead: the frequency
 	// sensitivity of runtime is weak in both directions (Figure 4a).
-	dev := gpusim.MustNew(gpusim.V100Spec(), 1)
+	dev := mustV100(t)
 	w, _ := NewWorkload(10, 4, 4, 4)
 	def := dev.Spec().BaselineFreqMHz()
 	tDef, _ := w.AnalyticOn(dev, def)
@@ -118,4 +118,14 @@ func TestWorkloadRunOnQueue(t *testing.T) {
 	if len(evs) != 4 {
 		t.Errorf("want 4 kernel events, got %d", len(evs))
 	}
+}
+
+// mustV100 builds a V100 device, failing the test on error.
+func mustV100(t *testing.T) *gpusim.Device {
+	t.Helper()
+	d, err := gpusim.New(gpusim.V100Spec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }

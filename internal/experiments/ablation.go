@@ -12,6 +12,7 @@ import (
 	"dsenergy/internal/kernels"
 	"dsenergy/internal/ligen"
 	"dsenergy/internal/ml"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/parallel"
 	"dsenergy/internal/synergy"
 	"dsenergy/internal/tuner"
@@ -39,21 +40,29 @@ func (c Config) AblationRoofline() (AblationRooflineResult, error) {
 	if err != nil {
 		return AblationRooflineResult{}, err
 	}
-	eval := func(spec gpusim.Spec) (speedup, saving float64) {
-		dev := gpusim.MustNew(spec, c.Seed)
+	eval := func(spec gpusim.Spec) (speedup, saving float64, err error) {
+		dev, err := gpusim.New(spec, c.Seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		dev.SetObserver(c.Obs)
 		def := spec.BaselineFreqMHz()
 		tDef, eDef := w.AnalyticOn(dev, def)
 		tMax, _ := w.AnalyticOn(dev, spec.FMaxMHz())
 		low := spec.NearestFreqMHz(def * 6 / 10)
 		_, eLow := w.AnalyticOn(dev, low)
-		return tDef / tMax, 1 - eLow/eDef
+		return tDef / tMax, 1 - eLow/eDef, nil
 	}
 	full := gpusim.V100Spec()
 	computeOnly := gpusim.V100Spec()
 	computeOnly.PeakBWGBs *= 1e6 // memory roof never binds
 	var r AblationRooflineResult
-	r.RooflineSpeedup, r.RooflineSaving = eval(full)
-	r.ComputeOnlySpeedup, r.ComputeOnlySaving = eval(computeOnly)
+	if r.RooflineSpeedup, r.RooflineSaving, err = eval(full); err != nil {
+		return AblationRooflineResult{}, err
+	}
+	if r.ComputeOnlySpeedup, r.ComputeOnlySaving, err = eval(computeOnly); err != nil {
+		return AblationRooflineResult{}, err
+	}
 	return r, nil
 }
 
@@ -175,9 +184,10 @@ type AblationNoiseResult struct {
 // AblationNoise compares domain-specific accuracy with 1 vs 5 measurement
 // repetitions on the Cronos dataset.
 func (c Config) AblationNoise() (AblationNoiseResult, error) {
-	run := func(reps int) (float64, error) {
+	run := func(reps int, o *obs.Observer) (float64, error) {
 		cfg := c
 		cfg.Reps = reps
+		cfg.Obs = o
 		p, err := cfg.platform()
 		if err != nil {
 			return 0, err
@@ -197,14 +207,16 @@ func (c Config) AblationNoise() (AblationNoiseResult, error) {
 		return sum / float64(len(accs)), nil
 	}
 	// The two arms build independent platforms from the same seed — run them
-	// concurrently on the config's pool.
+	// concurrently on the config's pool, each on its own observer fork.
 	repCounts := []int{1, 5}
+	forks := c.Obs.ForkN(len(repCounts))
 	mapes, err := parallel.Map(context.Background(), len(repCounts), c.Jobs, func(_ context.Context, i int) (float64, error) {
-		return run(repCounts[i])
+		return run(repCounts[i], forks[i])
 	})
 	if err != nil {
 		return AblationNoiseResult{}, err
 	}
+	c.Obs.AbsorbAll(forks)
 	return AblationNoiseResult{Reps1MeanMAPE: mapes[0], Reps5MeanMAPE: mapes[1]}, nil
 }
 
@@ -220,7 +232,11 @@ type AblationBatchingResult struct {
 
 // AblationBatching sweeps the LiGen launch batch size.
 func (c Config) AblationBatching() (AblationBatchingResult, error) {
-	dev := gpusim.MustNew(gpusim.V100Spec(), c.Seed)
+	dev, err := gpusim.New(gpusim.V100Spec(), c.Seed)
+	if err != nil {
+		return AblationBatchingResult{}, err
+	}
+	dev.SetObserver(c.Obs)
 	spec := dev.Spec()
 	def := spec.BaselineFreqMHz()
 	low := spec.NearestFreqMHz(def * 3 / 4)
@@ -392,11 +408,13 @@ func (c Config) StrongScaling(devices []int) (ligenRows, cronosRows []ScalingRow
 	// points are independent and fan out on the config's pool; efficiencies
 	// need the single-device baseline and are derived afterwards, in order.
 	type scalePoint struct{ ligen, cronos cluster.Result }
+	forks := c.Obs.ForkN(len(devices))
 	points, err := parallel.Map(context.Background(), len(devices), c.Jobs, func(_ context.Context, i int) (scalePoint, error) {
 		cl, err := cluster.New(c.Seed, gpusim.V100Spec(), devices[i], cluster.DefaultInterconnect())
 		if err != nil {
 			return scalePoint{}, err
 		}
+		cl.SetObserver(forks[i])
 		lr, err := cl.ScreenLiGen(in)
 		if err != nil {
 			return scalePoint{}, err
@@ -410,6 +428,7 @@ func (c Config) StrongScaling(devices []int) (ligenRows, cronosRows []ScalingRow
 	if err != nil {
 		return nil, nil, err
 	}
+	c.Obs.AbsorbAll(forks)
 	var ligenBase, cronosBase float64
 	for i, n := range devices {
 		lr, cr := points[i].ligen, points[i].cronos

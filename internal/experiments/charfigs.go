@@ -53,15 +53,24 @@ type seriesJob struct {
 // within a series the frequency sweep itself fans out through ParallelSweep.
 // Series are normalized to their own baseline measurement, so the private
 // platforms change nothing physical; they are what makes the fan-out
-// deterministic.
+// deterministic. Observer forks follow the same discipline: one child per
+// series, pre-split in job order, absorbed after every series succeeded.
 func (c Config) sweepSeriesSet(jobs []seriesJob) ([]Series, error) {
-	return parallel.Map(context.Background(), len(jobs), c.Jobs, func(_ context.Context, i int) (Series, error) {
-		p, err := c.platform()
+	forks := c.Obs.ForkN(len(jobs))
+	out, err := parallel.Map(context.Background(), len(jobs), c.Jobs, func(_ context.Context, i int) (Series, error) {
+		sc := c
+		sc.Obs = forks[i]
+		p, err := sc.platform()
 		if err != nil {
 			return Series{}, err
 		}
-		return c.sweepSeries(p.Queues()[jobs[i].devIdx], jobs[i].w, jobs[i].label)
+		return sc.sweepSeries(p.Queues()[jobs[i].devIdx], jobs[i].w, jobs[i].label)
 	})
+	if err != nil {
+		return nil, err
+	}
+	c.Obs.AbsorbAll(forks)
+	return out, nil
 }
 
 // sweepSeries measures w on q across the config's sweep and builds the

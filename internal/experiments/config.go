@@ -12,6 +12,7 @@ package experiments
 import (
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/ligen"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/synergy"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	// parallelism goes through the deterministic engine in internal/parallel,
 	// with per-task randomness pre-split before any worker starts.
 	Jobs int
+	// Obs is an optional observability sink (see internal/obs): every
+	// platform, cluster and model the generators build is attached to it.
+	// Nil disables instrumentation; attaching an observer never changes a
+	// generator's result, and the metric/trace exports are byte-identical
+	// for every Jobs value.
+	Obs *obs.Observer
 }
 
 // DefaultConfig is the paper-fidelity configuration.
@@ -118,9 +125,14 @@ func Fig13LiGenDisplay() []ligen.Input {
 }
 
 // Platform builds the simulated testbed (one V100, one MI100) seeded from
-// the config.
+// the config, attached to the config's observer.
 func (c Config) Platform() (*synergy.Platform, error) {
-	return synergy.NewPlatform(c.Seed, gpusim.V100Spec(), gpusim.MI100Spec())
+	p, err := synergy.NewPlatform(c.Seed, gpusim.V100Spec(), gpusim.MI100Spec())
+	if err != nil {
+		return nil, err
+	}
+	p.SetObserver(c.Obs)
+	return p, nil
 }
 
 // platform is the internal alias used by the generators.

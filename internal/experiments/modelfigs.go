@@ -16,9 +16,14 @@ import (
 )
 
 // ForestSpec is the paper's selected model: a random forest with default
-// hyper-parameters (§5.2.1), sized by the config.
+// hyper-parameters (§5.2.1), sized by the config and attached to the
+// config's observer for training counters and phase timers.
 func (c Config) ForestSpec() ml.Spec {
-	return ml.Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": float64(c.Trees)}}
+	return ml.Spec{
+		Algorithm: "forest",
+		Params:    map[string]float64{"n_estimators": float64(c.Trees)},
+		Obs:       c.Obs,
+	}
 }
 
 // forestSpec is the internal alias used by the generators.
@@ -449,7 +454,7 @@ func (c Config) GridSearchRF() ([]GridSearchResult, error) {
 		"n_estimators": dedupFloats(25, float64(c.Trees)),
 		"max_features": {0, 2},
 	}
-	base := ml.Spec{Algorithm: "forest"}
+	base := ml.Spec{Algorithm: "forest", Obs: c.Obs}
 	var out []GridSearchResult
 	for _, tgt := range []struct {
 		name string

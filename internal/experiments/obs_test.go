@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dsenergy/internal/obs"
+)
+
+// exportAll returns the two deterministic exports (metrics text, trace text).
+func exportAll(t *testing.T, o *obs.Observer) (string, string) {
+	t.Helper()
+	var m, tr bytes.Buffer
+	if err := o.WriteMetricsText(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteTraceText(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return m.String(), tr.String()
+}
+
+// TestObserverDoesNotPerturbFigures pins the layer's core promise at the
+// generator level: attaching an observer changes no result byte.
+func TestObserverDoesNotPerturbFigures(t *testing.T) {
+	plainCfg := testConfig()
+	plain, err := plainCfg.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsCfg := testConfig()
+	obsCfg.Obs = obs.NewObserver()
+	observed, err := obsCfg.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("observer changed Fig1")
+	}
+}
+
+// TestObserverExportsJobsInvariant is the determinism regression for the
+// exports themselves: the metric and trace dumps are byte-identical across
+// worker counts and across repeated runs.
+func TestObserverExportsJobsInvariant(t *testing.T) {
+	run := func(jobs int) (string, string) {
+		c := testConfig()
+		c.Jobs = jobs
+		c.Obs = obs.NewObserver()
+		if _, err := c.Fig1(); err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		if _, err := c.Resilience(); err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		return exportAll(t, c.Obs)
+	}
+	mRef, tRef := run(1)
+	if mRef == "" || tRef == "" {
+		t.Fatal("exports are empty — instrumentation not wired")
+	}
+	if !strings.Contains(tRef, "synergy.measure") {
+		t.Errorf("trace missing sweep spans:\n%.400s", tRef)
+	}
+	if !strings.Contains(mRef, "synergy_measurements_total") {
+		t.Errorf("metrics missing measurement counters:\n%.400s", mRef)
+	}
+	for _, jobs := range []int{0, 7} {
+		m, tr := run(jobs)
+		if m != mRef {
+			t.Errorf("metric export with Jobs=%d differs from serial export", jobs)
+		}
+		if tr != tRef {
+			t.Errorf("trace export with Jobs=%d differs from serial export", jobs)
+		}
+	}
+	// Repeatability: same config, fresh observer, same bytes.
+	m2, t2 := run(1)
+	if m2 != mRef || t2 != tRef {
+		t.Error("exports differ across identical repeated runs")
+	}
+}

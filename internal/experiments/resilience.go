@@ -9,6 +9,7 @@ import (
 	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/ligen"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/parallel"
 )
 
@@ -61,7 +62,7 @@ func (c Config) Resilience() ([]ResilienceRow, error) {
 	// Each campaign gets a fresh identically seeded cluster, so the device
 	// loss hits every campaign at the same point and the four runs (two apps
 	// × clean/faulty) are independent — they fan out on the config's pool.
-	runOne := func(app string, p faults.Plan) (cluster.Result, error) {
+	runOne := func(app string, p faults.Plan, o *obs.Observer) (cluster.Result, error) {
 		cl, err := cluster.New(c.Seed, gpusim.V100Spec(), devices, cluster.DefaultInterconnect())
 		if err != nil {
 			return cluster.Result{}, err
@@ -69,6 +70,7 @@ func (c Config) Resilience() ([]ResilienceRow, error) {
 		if err := cl.SetFaultPlan(p, cluster.DefaultResilienceConfig()); err != nil {
 			return cluster.Result{}, err
 		}
+		cl.SetObserver(o)
 		if app == "ligen" {
 			return cl.ScreenLiGen(in)
 		}
@@ -81,12 +83,14 @@ func (c Config) Resilience() ([]ResilienceRow, error) {
 		{"ligen", faults.Plan{}}, {"cronos", faults.Plan{}},
 		{"ligen", plan}, {"cronos", plan},
 	}
+	forks := c.Obs.ForkN(len(campaigns))
 	results, err := parallel.Map(context.Background(), len(campaigns), c.Jobs, func(_ context.Context, i int) (cluster.Result, error) {
-		return runOne(campaigns[i].app, campaigns[i].plan)
+		return runOne(campaigns[i].app, campaigns[i].plan, forks[i])
 	})
 	if err != nil {
 		return nil, err
 	}
+	c.Obs.AbsorbAll(forks)
 	return []ResilienceRow{
 		{App: "ligen", FaultFree: results[0], Faulty: results[2]},
 		{App: "cronos", FaultFree: results[1], Faulty: results[3]},

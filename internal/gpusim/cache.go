@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dsenergy/internal/kernels"
+	"dsenergy/internal/obs"
 )
 
 // analyticKey identifies one noiseless model evaluation: the full kernel
@@ -31,6 +32,12 @@ type analyticCache struct {
 	m      map[analyticKey]Breakdown
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// Mirror counters in the observer's unstable tier: whether two parallel
+	// forks both miss on the same key depends on scheduling, so these totals
+	// are reproducible only on serial runs and stay out of the deterministic
+	// export. Set once (before concurrent use) via Device.SetObserver.
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
 }
 
 func newAnalyticCache() *analyticCache {
@@ -43,10 +50,17 @@ func (c *analyticCache) lookup(p kernels.Profile, mhz int) (Breakdown, bool) {
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		c.obsHits.Inc()
 	} else {
 		c.misses.Add(1)
+		c.obsMisses.Inc()
 	}
 	return b, ok
+}
+
+func (c *analyticCache) setObserver(m *obs.Registry, device string) {
+	c.obsHits = m.UnstableCounter("gpusim_analytic_cache_hits_total", obs.L("device", device))
+	c.obsMisses = m.UnstableCounter("gpusim_analytic_cache_misses_total", obs.L("device", device))
 }
 
 func (c *analyticCache) store(p kernels.Profile, mhz int, b Breakdown) {

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"dsenergy/internal/kernels"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/xrand"
 )
 
@@ -221,6 +222,11 @@ type Device struct {
 	// pure function of (spec, profile, frequency), so cached values are
 	// bit-identical to recomputed ones.
 	cache *analyticCache
+	// Observability handles (nil when no observer is attached; all no-ops
+	// then). Resolved once in SetObserver and shared by forks — counter
+	// accumulation is order-invariant, so sharing cannot perturb exports.
+	launches *obs.Counter
+	dvfs     *obs.Counter
 }
 
 // New constructs a device from spec with the measurement-noise model seeded
@@ -252,18 +258,25 @@ func (d *Device) Fork() *Device {
 		powerCapW:   d.powerCapW,
 		rng:         d.rng.Split(),
 		cache:       d.cache,
+		launches:    d.launches,
+		dvfs:        d.dvfs,
 	}
 	child.noise = NewNoiseModel(d.noise.Sigma, child.rng)
 	return child
 }
 
-// MustNew is New for known-good presets; it panics on error.
-func MustNew(spec Spec, seed uint64) *Device {
-	d, err := New(spec, seed)
-	if err != nil {
-		panic(err)
+// SetObserver attaches an observability sink to the device: kernel-launch
+// and DVFS-transition counters plus the shared analytic cache's hit/miss
+// counters (unstable tier — parallel forks can race on a miss, so those
+// totals depend on scheduling). Call before the device is used from worker
+// goroutines; forks inherit the parent's handles. A nil observer detaches.
+func (d *Device) SetObserver(o *obs.Observer) {
+	m := o.Metrics()
+	d.launches = m.Counter("gpusim_kernel_launches_total", obs.L("device", d.spec.Name))
+	d.dvfs = m.Counter("gpusim_dvfs_transitions_total", obs.L("device", d.spec.Name))
+	if d.cache != nil {
+		d.cache.setObserver(m, d.spec.Name)
 	}
-	return d
 }
 
 // Spec returns the device description.
@@ -279,12 +292,20 @@ func (d *Device) SetCoreFreqMHz(mhz int) error {
 		return fmt.Errorf("gpusim: %s: frequency %d MHz not in table (range %d-%d)",
 			d.spec.Name, mhz, d.spec.FMinMHz(), d.spec.FMaxMHz())
 	}
+	if mhz != d.coreFreqMHz {
+		d.dvfs.Inc()
+	}
 	d.coreFreqMHz = mhz
 	return nil
 }
 
 // ResetCoreFreq restores the vendor baseline clock.
-func (d *Device) ResetCoreFreq() { d.coreFreqMHz = d.spec.BaselineFreqMHz() }
+func (d *Device) ResetCoreFreq() {
+	if base := d.spec.BaselineFreqMHz(); base != d.coreFreqMHz {
+		d.dvfs.Inc()
+		d.coreFreqMHz = base
+	}
+}
 
 // SetPowerCapW sets a board power limit in the style of NVML's power
 // management limit / ROCm-SMI's power cap: when a kernel's steady-state
@@ -379,6 +400,7 @@ func (d *Device) Run(p kernels.Profile) (Result, error) {
 	r := d.Analytic(p, d.throttledFreq(p, d.coreFreqMHz))
 	r = d.noise.Perturb(r)
 	d.energyJ += r.EnergyJ
+	d.launches.Inc()
 	return r, nil
 }
 
@@ -393,6 +415,7 @@ func (d *Device) RunAt(p kernels.Profile, mhz int) (Result, error) {
 	r := d.Analytic(p, d.throttledFreq(p, mhz))
 	r = d.noise.Perturb(r)
 	d.energyJ += r.EnergyJ
+	d.launches.Inc()
 	return r, nil
 }
 

@@ -8,6 +8,16 @@ import (
 	"dsenergy/internal/kernels"
 )
 
+// mustNew builds a device from a known-good spec, failing the test on error.
+func mustNew(tb testing.TB, spec Spec, seed uint64) *Device {
+	tb.Helper()
+	d, err := New(spec, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
 // computeBound is a kernel profile that saturates the ALUs with negligible
 // memory traffic.
 func computeBound() kernels.Profile {
@@ -133,7 +143,7 @@ func TestVoltageCurveMonotone(t *testing.T) {
 }
 
 func TestComputeBoundTimeScalesInverseFreq(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	p := computeBound()
 	t1 := d.Analytic(p, 800).TimeS
 	t2 := d.Analytic(p, 1597).TimeS
@@ -145,7 +155,7 @@ func TestComputeBoundTimeScalesInverseFreq(t *testing.T) {
 }
 
 func TestMemoryBoundTimeFlat(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	p := memoryBound()
 	t1 := d.Analytic(p, 800).TimeS
 	t2 := d.Analytic(p, 1597).TimeS
@@ -155,7 +165,7 @@ func TestMemoryBoundTimeFlat(t *testing.T) {
 }
 
 func TestPowerIncreasesWithFrequency(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	p := computeBound()
 	prev := 0.0
 	for _, f := range []int{800, 1000, 1200, 1400, 1597} {
@@ -170,7 +180,7 @@ func TestPowerIncreasesWithFrequency(t *testing.T) {
 func TestEnergyBowlExistsForComputeBound(t *testing.T) {
 	// Compute-bound energy over frequency is a bowl: very low clocks pay
 	// idle energy, very high clocks pay V²f — the minimum is interior.
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	p := computeBound()
 	s := d.Spec()
 	eMin, fMin := math.Inf(1), 0
@@ -186,7 +196,7 @@ func TestEnergyBowlExistsForComputeBound(t *testing.T) {
 }
 
 func TestOccupancyLowersPower(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	big := computeBound()
 	small := big
 	small.WorkItems = 512
@@ -198,7 +208,7 @@ func TestOccupancyLowersPower(t *testing.T) {
 }
 
 func TestCacheSpillIncreasesTime(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	fits := memoryBound()
 	fits.CacheReuse = 0.9
 	fits.WorkingSetBytes = 1 << 20
@@ -212,7 +222,7 @@ func TestCacheSpillIncreasesTime(t *testing.T) {
 }
 
 func TestLaunchOverheadAdds(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	one := computeBound()
 	one.Launches = 1
 	many := one
@@ -225,7 +235,7 @@ func TestLaunchOverheadAdds(t *testing.T) {
 }
 
 func TestBreakdownConsistency(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	for _, p := range []kernels.Profile{computeBound(), memoryBound()} {
 		b := d.AnalyzeAt(p, 1297)
 		if math.Abs(b.EnergyJ-b.TotalPowerW*b.TimeS) > 1e-9*b.EnergyJ {
@@ -242,7 +252,7 @@ func TestBreakdownConsistency(t *testing.T) {
 }
 
 func TestRunAccumulatesEnergyCounter(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	p := computeBound()
 	if d.EnergyCounterJ() != 0 {
 		t.Fatal("fresh device has nonzero energy counter")
@@ -261,15 +271,15 @@ func TestRunAccumulatesEnergyCounter(t *testing.T) {
 }
 
 func TestNoiseIsSeededAndBounded(t *testing.T) {
-	a := MustNew(V100Spec(), 77)
-	b := MustNew(V100Spec(), 77)
+	a := mustNew(t, V100Spec(), 77)
+	b := mustNew(t, V100Spec(), 77)
 	p := computeBound()
 	ra, _ := a.Run(p)
 	rb, _ := b.Run(p)
 	if ra != rb {
 		t.Error("identically seeded devices observed different measurements")
 	}
-	c := MustNew(V100Spec(), 78)
+	c := mustNew(t, V100Spec(), 78)
 	rc, _ := c.Run(p)
 	if rc == ra {
 		t.Error("different seeds produced identical noise")
@@ -282,7 +292,7 @@ func TestNoiseIsSeededAndBounded(t *testing.T) {
 }
 
 func TestZeroNoiseMatchesAnalytic(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	d.SetNoiseSigma(0)
 	p := computeBound()
 	r, _ := d.Run(p)
@@ -293,7 +303,7 @@ func TestZeroNoiseMatchesAnalytic(t *testing.T) {
 }
 
 func TestSetCoreFreqValidation(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	if err := d.SetCoreFreqMHz(123456); err == nil {
 		t.Error("expected error for frequency not in table")
 	}
@@ -323,7 +333,7 @@ func TestAMDBaselineIsAuto(t *testing.T) {
 }
 
 func TestAnalyticAlwaysPositive(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	s := d.Spec()
 	f := func(items uint16, launches, ga, fa uint8, reuse float64) bool {
 		p := kernels.Profile{
@@ -353,7 +363,7 @@ func TestAnalyticAlwaysPositive(t *testing.T) {
 }
 
 func BenchmarkAnalyzeAt(b *testing.B) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(b, V100Spec(), 1)
 	p := computeBound()
 	for i := 0; i < b.N; i++ {
 		_ = d.AnalyzeAt(p, 1297)
@@ -361,7 +371,7 @@ func BenchmarkAnalyzeAt(b *testing.B) {
 }
 
 func TestPowerCapThrottles(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	d.SetNoiseSigma(0)
 	p := computeBound()
 	fmax := d.Spec().FMaxMHz()
@@ -387,7 +397,7 @@ func TestPowerCapThrottles(t *testing.T) {
 }
 
 func TestPowerCapDisabledByZero(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	d.SetNoiseSigma(0)
 	p := computeBound()
 	fmax := d.Spec().FMaxMHz()
@@ -405,7 +415,7 @@ func TestPowerCapDisabledByZero(t *testing.T) {
 }
 
 func TestPowerCapBelowMinimumUsesLowestClock(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	d.SetNoiseSigma(0)
 	p := computeBound()
 	if err := d.SetPowerCapW(1); err != nil { // unachievable
@@ -422,7 +432,7 @@ func TestPowerCapBelowMinimumUsesLowestClock(t *testing.T) {
 }
 
 func TestPowerCapValidation(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	if err := d.SetPowerCapW(-5); err == nil {
 		t.Error("expected error for negative cap")
 	}
@@ -441,7 +451,7 @@ func TestThermalThrottling(t *testing.T) {
 	spec.ThermalResKW = 0.2
 	spec.TAmbientC = 30
 	spec.TThrottleC = 70
-	d := MustNew(spec, 1)
+	d := mustNew(t, spec, 1)
 	d.SetNoiseSigma(0)
 	p := computeBound()
 
@@ -460,7 +470,7 @@ func TestThermalThrottling(t *testing.T) {
 
 func TestSteadyTemperature(t *testing.T) {
 	spec := V100Spec()
-	d := MustNew(spec, 1)
+	d := mustNew(t, spec, 1)
 	p := computeBound()
 	temp := d.SteadyTempC(p, spec.BaselineFreqMHz())
 	power := d.Analytic(p, spec.BaselineFreqMHz()).AvgPowerW
@@ -474,7 +484,7 @@ func TestSteadyTemperature(t *testing.T) {
 	}
 	noThermal := spec
 	noThermal.ThermalResKW = 0
-	d2 := MustNew(noThermal, 1)
+	d2 := mustNew(t, noThermal, 1)
 	if got := d2.SteadyTempC(p, spec.BaselineFreqMHz()); got != noThermal.TAmbientC {
 		t.Errorf("no thermal model should report ambient, got %g", got)
 	}
@@ -484,7 +494,7 @@ func TestPresetsDoNotThrottleAtFMax(t *testing.T) {
 	// The preset envelopes are calibrated so every paper experiment runs
 	// unthrottled: the governor never silently changes the swept clock.
 	for _, spec := range Specs() {
-		d := MustNew(spec, 1)
+		d := mustNew(t, spec, 1)
 		d.SetNoiseSigma(0)
 		p := computeBound()
 		r, _ := d.RunAt(p, spec.FMaxMHz())
@@ -510,8 +520,8 @@ func TestA100PresetValid(t *testing.T) {
 		t.Error("unknown device resolved")
 	}
 	// A100 outperforms V100 on a saturated compute kernel (more CUs).
-	dv := MustNew(V100Spec(), 1)
-	da := MustNew(A100Spec(), 1)
+	dv := mustNew(t, V100Spec(), 1)
+	da := mustNew(t, A100Spec(), 1)
 	p := computeBound()
 	tv := dv.Analytic(p, V100Spec().BaselineFreqMHz()).TimeS
 	ta := da.Analytic(p, A100Spec().BaselineFreqMHz()).TimeS
@@ -540,7 +550,7 @@ func TestFloorFreq(t *testing.T) {
 }
 
 func TestAddEnergyAdvancesCounter(t *testing.T) {
-	d := MustNew(V100Spec(), 1)
+	d := mustNew(t, V100Spec(), 1)
 	before := d.EnergyCounterJ()
 	d.AddEnergyJ(12.5)
 	if got := d.EnergyCounterJ() - before; math.Abs(got-12.5) > 1e-12 {

@@ -9,7 +9,17 @@ import (
 
 func v100(t *testing.T) *gpusim.Device {
 	t.Helper()
-	return gpusim.MustNew(gpusim.V100Spec(), 1)
+	return mustDevice(t, gpusim.V100Spec())
+}
+
+// mustDevice builds a device from a known-good spec, failing the test on error.
+func mustDevice(t *testing.T, spec gpusim.Spec) *gpusim.Device {
+	t.Helper()
+	d, err := gpusim.New(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 func TestInputValidation(t *testing.T) {
@@ -134,7 +144,7 @@ func TestEnergyAndTimeGrowWithInputDimensions(t *testing.T) {
 func TestMI100SlowerAndHotterThanV100(t *testing.T) {
 	// Figure 7 vs 6: both time and energy are higher on the MI100.
 	dv := v100(t)
-	da := gpusim.MustNew(gpusim.MI100Spec(), 1)
+	da := mustDevice(t, gpusim.MI100Spec())
 	w, _ := NewWorkload(Input{Ligands: 4096, Atoms: 89, Fragments: 20})
 	tv, ev := w.AnalyticOn(dv, dv.Spec().BaselineFreqMHz())
 	ta, ea := w.AnalyticOn(da, da.Spec().BaselineFreqMHz())
@@ -149,7 +159,7 @@ func TestMI100SlowerAndHotterThanV100(t *testing.T) {
 func TestMI100AutoNearBestSpeedup(t *testing.T) {
 	// Figure 10c/d: the AMD auto performance level is close to the best
 	// achievable speedup; no frequency beats it by more than a few percent.
-	da := gpusim.MustNew(gpusim.MI100Spec(), 1)
+	da := mustDevice(t, gpusim.MI100Spec())
 	w, _ := NewWorkload(Input{Ligands: 10000, Atoms: 89, Fragments: 20})
 	tAuto, _ := w.AnalyticOn(da, da.Spec().BaselineFreqMHz())
 	best := tAuto

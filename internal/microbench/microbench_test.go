@@ -67,7 +67,10 @@ func TestLocalityPairsShareStaticFeatures(t *testing.T) {
 func TestLocalityPairsBehaveDifferently(t *testing.T) {
 	// On a real device the two variants of a pair must produce different
 	// time/energy: that is the whole point of the construction.
-	d := gpusim.MustNew(gpusim.V100Spec(), 1)
+	d, err := gpusim.New(gpusim.V100Spec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := Suite()
 	differ := 0
 	for i := 0; i+1 < 100; i += 2 {

@@ -16,6 +16,8 @@ import (
 // (replacing the per-fold map[int]bool this package used to build) while a
 // parallel caller hands each fold its own slice.
 func evalFold(spec Spec, X [][]float64, y []float64, test []int, scratch []bool, seed uint64) (float64, error) {
+	stop := spec.Obs.Profile().Phase("ml.cv.fold").Start()
+	defer stop()
 	for _, i := range test {
 		scratch[i] = true
 	}
@@ -44,6 +46,7 @@ func evalFold(spec Spec, X [][]float64, y []float64, test []int, scratch []bool,
 		yt = append(yt, y[i])
 		yp = append(yp, model.Predict(X[i]))
 	}
+	spec.Obs.Metrics().Counter("ml_cv_folds_total").Inc()
 	return MAPE(yt, yp), nil
 }
 
@@ -179,8 +182,12 @@ func enumerateGrid(grid map[string][]float64) []map[string]float64 {
 // enumeration order, so the result is identical for every worker count.
 func gridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64, k int, seed uint64, workers int) ([]GridPoint, error) {
 	combos := enumerateGrid(grid)
+	gridPoints := base.Obs.Metrics().Counter("ml_grid_points_total")
+	gridPhase := base.Obs.Profile().Phase("ml.grid.point")
 	points, err := parallel.Map(context.Background(), len(combos), workers, func(_ context.Context, i int) (GridPoint, error) {
-		spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}}
+		stop := gridPhase.Start()
+		defer stop()
+		spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}, Obs: base.Obs}
 		for k, v := range base.Params {
 			spec.Params[k] = v
 		}
@@ -191,6 +198,7 @@ func gridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64
 		if err != nil {
 			return GridPoint{}, err
 		}
+		gridPoints.Inc()
 		return GridPoint{Params: combos[i], MAPE: m}, nil
 	})
 	if err != nil {

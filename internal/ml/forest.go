@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"dsenergy/internal/obs"
 	"dsenergy/internal/parallel"
 	"dsenergy/internal/xrand"
 )
@@ -29,6 +30,9 @@ type ForestConfig struct {
 	// ComputeOOB enables the out-of-bag generalization estimate (see
 	// OOBMAPE), at the cost of predicting every training sample once.
 	ComputeOOB bool
+	// Obs is an optional observability sink for per-tree training timers
+	// and counters. Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // Forest is a bagged ensemble of CART regression trees with per-node feature
@@ -72,7 +76,14 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if f.cfg.ComputeOOB {
 		inBag = make([][]bool, f.cfg.NumTrees)
 	}
+	// Resolve handles once: the counter total (trees trained) is the same for
+	// every schedule, so it is stable-tier; the phase timer is wall clock and
+	// lives in the profile dump only.
+	treesTrained := f.cfg.Obs.Metrics().Counter("ml_trees_trained_total")
+	treePhase := f.cfg.Obs.Profile().Phase("ml.forest.tree")
 	err = parallel.ForEach(context.Background(), f.cfg.NumTrees, f.cfg.Workers, func(_ context.Context, ti int) error {
+		stop := treePhase.Start()
+		defer stop()
 		// The tree's generator derives from the forest seed and the tree
 		// index alone — no pre-split needed, scheduling cannot touch it.
 		rng := xrand.New(f.cfg.Seed ^ (uint64(ti)+1)*0xd1342543de82ef95)
@@ -105,6 +116,7 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 			return fmt.Errorf("ml: forest tree %d: %w", ti, err)
 		}
 		f.trees[ti] = tree
+		treesTrained.Inc()
 		return nil
 	})
 	if err != nil {

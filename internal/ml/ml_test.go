@@ -382,6 +382,32 @@ func TestMAPESkipsZeroTargets(t *testing.T) {
 	}
 }
 
+func TestMAPENearZeroGuard(t *testing.T) {
+	cases := []struct {
+		name         string
+		yTrue, yPred []float64
+		want         float64
+	}{
+		// A denormal-scale target must not blow the mean up to ~1e300.
+		{"near-zero skipped", []float64{1e-300, 2}, []float64{5, 3}, 0.5},
+		// Targets at the threshold boundary are skipped; above it they count.
+		{"relative threshold", []float64{1e-13, 1}, []float64{7, 1.1}, 0.1},
+		{"all zero", []float64{0, 0}, []float64{1, 2}, 0},
+		// Negative targets are judged by magnitude, not sign.
+		{"negative target kept", []float64{-2, 2}, []float64{-3, 3}, 0.5},
+	}
+	for _, c := range cases {
+		got := MAPE(c.yTrue, c.yPred)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: MAPE = %g, must be finite", c.name, got)
+			continue
+		}
+		if !almostEqf(got, c.want, 1e-9) {
+			t.Errorf("%s: MAPE = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
 func TestEvaluateValidation(t *testing.T) {
 	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
 		t.Error("expected error for length mismatch")

@@ -5,7 +5,11 @@
 // metrics. Everything is stdlib-only and deterministic (seeded generators).
 package ml
 
-import "fmt"
+import (
+	"fmt"
+
+	"dsenergy/internal/obs"
+)
 
 // Regressor is a trainable scalar regression model.
 type Regressor interface {
@@ -34,6 +38,11 @@ type Spec struct {
 	// the algorithm defaults (matching scikit-learn's defaults where the
 	// paper relies on them).
 	Params map[string]float64
+	// Obs is an optional observability sink: training counts phase timers
+	// (per-tree, per-fold, per-grid-point) and stable work counters against
+	// it. Nil disables instrumentation; attaching an observer never changes
+	// a training result.
+	Obs *obs.Observer
 }
 
 // param returns the named parameter or def.
@@ -66,6 +75,7 @@ func (s Spec) New(seed uint64) (Regressor, error) {
 			MaxFeatures: int(s.param("max_features", 0)),
 			MinLeaf:     int(s.param("min_samples_leaf", 1)),
 			Seed:        seed,
+			Obs:         s.Obs,
 		}), nil
 	default:
 		return nil, fmt.Errorf("ml: unknown algorithm %q", s.Algorithm)

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PhaseTimer accumulates wall-clock time and invocation counts for one
+// named phase. Wall time is inherently non-deterministic, which is exactly
+// why it lives here and not in the metric registry: the profile dump is the
+// one output that is allowed to differ between runs.
+type PhaseTimer struct {
+	count atomic.Uint64
+	nanos atomic.Int64
+}
+
+// Start begins timing one invocation and returns the function that stops
+// it. Safe on a nil timer (returns a no-op stop).
+func (p *PhaseTimer) Start() func() {
+	if p == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		p.nanos.Add(int64(time.Since(t0)))
+		p.count.Add(1)
+	}
+}
+
+// Count returns the number of completed invocations.
+func (p *PhaseTimer) Count() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.count.Load()
+}
+
+// Total returns the accumulated wall-clock duration.
+func (p *PhaseTimer) Total() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.nanos.Load())
+}
+
+// Profile is a concurrency-safe collection of phase timers.
+type Profile struct {
+	mu     sync.Mutex
+	phases map[string]*PhaseTimer
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{phases: make(map[string]*PhaseTimer)} }
+
+// Phase returns the timer for name, creating it on first use. Safe on a
+// nil profile (returns a nil, no-op timer).
+func (p *Profile) Phase(name string) *PhaseTimer {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.phases[name]
+	if !ok {
+		t = &PhaseTimer{}
+		p.phases[name] = t
+	}
+	return t
+}
+
+// WriteText dumps all phases sorted by name: count, total wall time and
+// mean per invocation.
+func (p *Profile) WriteText(w io.Writer) error {
+	if p == nil {
+		_, err := fmt.Fprintln(w, "# profiling disabled (no observer)")
+		return err
+	}
+	p.mu.Lock()
+	names := make([]string, 0, len(p.phases))
+	for n := range p.phases {
+		names = append(names, n)
+	}
+	timers := make(map[string]*PhaseTimer, len(p.phases))
+	for n, t := range p.phases {
+		timers[n] = t
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	if _, err := fmt.Fprintln(w, "# wall-clock phase timers (non-deterministic by nature)"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		t := timers[n]
+		count := t.Count()
+		total := t.Total()
+		mean := time.Duration(0)
+		if count > 0 {
+			mean = total / time.Duration(count)
+		}
+		if _, err := fmt.Fprintf(w, "%-40s count=%-8d total=%-14s mean=%s\n", n, count, total, mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,6 +53,67 @@ func TestFrontSimple(t *testing.T) {
 	}
 }
 
+func TestFrontDuplicateOutcomeRepresentative(t *testing.T) {
+	// When several frequencies land on the exact same (speedup, energy)
+	// outcome, the front keeps one representative: the lowest frequency,
+	// being the cheaper configuration.
+	cases := []struct {
+		name      string
+		pts       []Point
+		wantFreqs []int
+	}{
+		{
+			name: "exact duplicate keeps lowest frequency",
+			pts: []Point{
+				{FreqMHz: 1200, Speedup: 1.0, NormEnergy: 1.0},
+				{FreqMHz: 900, Speedup: 1.0, NormEnergy: 1.0},
+				{FreqMHz: 1050, Speedup: 1.0, NormEnergy: 1.0},
+			},
+			wantFreqs: []int{900},
+		},
+		{
+			name: "duplicate group beside distinct members",
+			pts: []Point{
+				{FreqMHz: 1400, Speedup: 1.2, NormEnergy: 1.3},
+				{FreqMHz: 1100, Speedup: 1.0, NormEnergy: 1.0},
+				{FreqMHz: 1000, Speedup: 1.0, NormEnergy: 1.0},
+				{FreqMHz: 700, Speedup: 0.8, NormEnergy: 0.7},
+			},
+			wantFreqs: []int{1400, 1000, 700},
+		},
+		{
+			name: "same speedup different energy keeps cheaper energy only",
+			pts: []Point{
+				{FreqMHz: 1000, Speedup: 1.0, NormEnergy: 1.1},
+				{FreqMHz: 1200, Speedup: 1.0, NormEnergy: 1.0},
+			},
+			wantFreqs: []int{1200},
+		},
+		{
+			name: "duplicate outcomes dominated by a faster point drop entirely",
+			pts: []Point{
+				{FreqMHz: 1300, Speedup: 1.2, NormEnergy: 0.9},
+				{FreqMHz: 1000, Speedup: 1.0, NormEnergy: 1.0},
+				{FreqMHz: 900, Speedup: 1.0, NormEnergy: 1.0},
+			},
+			wantFreqs: []int{1300},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Frequencies(Front(c.pts))
+			if len(got) != len(c.wantFreqs) {
+				t.Fatalf("front frequencies = %v, want %v", got, c.wantFreqs)
+			}
+			for i := range got {
+				if got[i] != c.wantFreqs[i] {
+					t.Fatalf("front frequencies = %v, want %v", got, c.wantFreqs)
+				}
+			}
+		})
+	}
+}
+
 func TestFrontEmpty(t *testing.T) {
 	if f := Front(nil); f != nil {
 		t.Errorf("front of nothing should be nil, got %v", f)

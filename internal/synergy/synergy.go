@@ -9,11 +9,13 @@ package synergy
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"dsenergy/internal/faults"
 	"dsenergy/internal/gpusim"
 	"dsenergy/internal/kernels"
+	"dsenergy/internal/obs"
 	"dsenergy/internal/parallel"
 )
 
@@ -44,6 +46,14 @@ func NewPlatform(seed uint64, specs ...gpusim.Spec) (*Platform, error) {
 		p.devices = append(p.devices, &Queue{dev: d})
 	}
 	return p, nil
+}
+
+// SetObserver attaches an observability sink to every queue of the
+// platform (nil detaches). Call before measurements start.
+func (p *Platform) SetObserver(o *obs.Observer) {
+	for _, q := range p.Queues() {
+		q.SetObserver(o)
+	}
 }
 
 // Queues returns the device queues in discovery order.
@@ -96,6 +106,54 @@ type Queue struct {
 	// (fault injection); nil queues follow the exact fault-free code path.
 	inj   *faults.DeviceInjector
 	stats FaultStats
+	// obsv carries the queue's trace stream (forked per sweep clone, absorbed
+	// in task order); om holds the metric handles, resolved once in
+	// SetObserver and shared by every clone. Both are no-ops when unset.
+	obsv *obs.Observer
+	om   queueObsHandles
+}
+
+// queueObsHandles are the pre-resolved metric handles of one device queue.
+// The zero value (all-nil handles) disables every increment.
+type queueObsHandles struct {
+	transient    *obs.Counter
+	permanent    *obs.Counter
+	throttled    *obs.Counter
+	clockRejects *obs.Counter
+	measurements *obs.Counter
+	wasted       *obs.Histogram
+}
+
+// wastedTimeBounds buckets the simulated seconds burned by aborted
+// submissions (spanning microsecond kernels to multi-second workloads).
+var wastedTimeBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// SetObserver attaches an observability sink to the queue and its device:
+// fault/throttle/clock-reject counters, a wasted-time histogram, and the
+// trace stream sweep spans are recorded on. All derived totals are
+// functions of the injector's pre-split fault streams, so they are
+// deterministic and live in the stable tier. Call before the queue is used
+// from worker goroutines; a nil observer detaches.
+func (q *Queue) SetObserver(o *obs.Observer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.obsv = o
+	if o == nil {
+		q.om = queueObsHandles{}
+		q.dev.SetObserver(nil)
+		return
+	}
+	m := o.Metrics()
+	dl := obs.L("device", q.dev.Spec().Name)
+	q.om = queueObsHandles{
+		transient:    m.Counter("synergy_faults_transient_total", dl),
+		permanent:    m.Counter("synergy_faults_permanent_total", dl),
+		throttled:    m.Counter("synergy_throttled_submissions_total", dl),
+		clockRejects: m.Counter("synergy_clock_rejects_total", dl),
+		measurements: m.Counter("synergy_measurements_total", dl),
+		wasted:       m.Histogram("synergy_wasted_time_seconds", wastedTimeBounds, dl),
+	}
+	q.dev.SetObserver(o)
 }
 
 // FaultStats aggregates the injected faults a queue has observed.
@@ -134,6 +192,7 @@ func (q *Queue) SetCoreFreqMHz(mhz int) error {
 	if q.inj != nil {
 		if err := q.inj.OnClockSet(); err != nil {
 			q.stats.ClockRejects++
+			q.om.clockRejects.Inc()
 			return fmt.Errorf("synergy: %s: setting %d MHz: %w", q.dev.Spec().Name, mhz, err)
 		}
 	}
@@ -227,12 +286,15 @@ func (q *Queue) submitInjected(p kernels.Profile, mhz int) (gpusim.Result, error
 	if dec.CapMHz > 0 && dec.CapMHz < eff {
 		eff = q.dev.Spec().FloorFreqMHz(dec.CapMHz)
 		q.stats.Throttled++
+		q.om.throttled.Inc()
 	}
 	if dec.Err != nil {
 		if faults.IsTransient(dec.Err) {
 			q.stats.Transient++
+			q.om.transient.Inc()
 		} else {
 			q.stats.Permanent++
+			q.om.permanent.Inc()
 		}
 		// The aborted attempt still burned time and energy up to the fault
 		// point. Charge the noiseless partial cost: it keeps the energy
@@ -248,6 +310,7 @@ func (q *Queue) submitInjected(p kernels.Profile, mhz int) (gpusim.Result, error
 		q.dev.AddEnergyJ(wastedEnergyJ)
 		q.stats.WastedTimeS += wastedTimeS
 		q.stats.WastedEnergyJ += wastedEnergyJ
+		q.om.wasted.Observe(wastedTimeS)
 		q.events = append(q.events, Event{
 			Kernel: p.Name, FreqMHz: eff,
 			TimeS: wastedTimeS, EnergyJ: wastedEnergyJ, Faulted: true,
@@ -368,6 +431,15 @@ func MeasureAt(q *Queue, w Workload, mhz, reps int) (Measurement, error) {
 		}
 	}
 	n := float64(reps)
+	// One span per measurement, on simulated time: the duration is the total
+	// simulated seconds across the repetitions, so the trace is a pure
+	// function of the measured workload, never of the host machine.
+	q.obsv.Trace().Add("synergy.measure", sumT,
+		obs.L("device", q.dev.Spec().Name),
+		obs.L("workload", w.Name()),
+		obs.L("freq_mhz", strconv.Itoa(mhz)),
+		obs.L("reps", strconv.Itoa(reps)))
+	q.om.measurements.Inc()
 	return Measurement{FreqMHz: mhz, EffFreqMHz: effMHz, TimeS: sumT / n, EnergyJ: sumE / n}, nil
 }
 
@@ -390,7 +462,10 @@ func (q *Queue) forkSweepTasks(freqs []int) []sweepTask {
 	defer q.mu.Unlock()
 	tasks := make([]sweepTask, len(freqs))
 	for i, f := range freqs {
-		clone := &Queue{dev: q.dev.Fork(), pinned: q.pinned}
+		// Metric handles are shared (order-invariant accumulation); the trace
+		// is forked per clone and absorbed back in task order, exactly like
+		// the RNG and fault streams.
+		clone := &Queue{dev: q.dev.Fork(), pinned: q.pinned, obsv: q.obsv.Fork(), om: q.om}
 		if q.inj != nil {
 			clone.inj = q.inj.Fork()
 		}
@@ -413,6 +488,9 @@ func (q *Queue) absorbSweep(tasks []sweepTask) {
 		q.stats.absorb(c.stats)
 		if q.inj != nil && c.inj != nil {
 			q.inj.Absorb(c.inj)
+		}
+		if q.obsv != nil && c.obsv != nil {
+			q.obsv.Trace().Absorb(c.obsv.Trace())
 		}
 	}
 }
