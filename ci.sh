@@ -32,12 +32,13 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 # The resilience layer's retry/requeue concurrency, the deterministic
-# parallel engine and the observability registry (counters bumped from worker
-# goroutines, trace fork/absorb) are where a scheduling race would hide: run
-# their packages twice under the race detector so goroutine interleavings get
-# a second roll of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs"
-go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs
+# parallel engine, the observability registry (counters bumped from worker
+# goroutines, trace fork/absorb) and the forest trainer's pooled workspaces
+# (shared column copy read by every tree goroutine) are where a scheduling
+# race would hide: run their packages twice under the race detector so
+# goroutine interleavings get a second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml
 
 # Parallel-vs-serial equivalence smoke: regenerate a figure and the cluster
 # resilience study with Jobs=1 and Jobs=0 under the race detector and require

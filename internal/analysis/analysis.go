@@ -104,6 +104,7 @@ func All() []*Analyzer {
 		MapOrder,
 		GoroLeak,
 		DeadAssign,
+		SortSlice,
 	}
 }
 

@@ -21,6 +21,7 @@ var fixtureCases = []struct {
 	{MapOrder, []string{"maporder"}},
 	{GoroLeak, []string{"goroleak/internal/synergy", "goroleak/other"}},
 	{DeadAssign, []string{"deadassign"}},
+	{SortSlice, []string{"sortslice/internal/ml", "sortslice/other"}},
 }
 
 // loadFixtures loads the named testdata directories with a shared loader.

@@ -1,0 +1,13 @@
+// Seeded sortslice violations inside a policed hot package: both
+// reflection-based sorters on an undocumented (non-ignored) call site.
+package ml
+
+import "sort"
+
+func rankHot(xs []float64) {
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}
+
+func rankHotStable(xs []float64) {
+	sort.SliceStable(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}

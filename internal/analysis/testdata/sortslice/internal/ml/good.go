@@ -1,0 +1,34 @@
+// Clean counterparts: reflection-free sorting stays quiet, and a cold call
+// site documents itself with an ignore directive.
+package ml
+
+import (
+	"slices"
+	"sort"
+)
+
+func rankFast(xs []float64) {
+	slices.Sort(xs)
+}
+
+func rankFunc(xs []float64) {
+	slices.SortFunc(xs, func(a, b float64) int {
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
+	})
+}
+
+func rankCold(xs []float64) {
+	// Cold path: runs once per search, not per node.
+	//dsalint:ignore sortslice
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}
+
+func rankStrings(xs []string) {
+	sort.Strings(xs) // other sort helpers are not reflection-based per element
+}

@@ -1,0 +1,9 @@
+// Packages outside internal/ml, internal/gpusim and internal/synergy are
+// not policed: the same reflection-based sort stays quiet here.
+package other
+
+import "sort"
+
+func rankAnywhere(xs []float64) {
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}

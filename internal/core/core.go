@@ -293,9 +293,20 @@ type CurvePoint struct {
 // predicted time/energy; in normalized mode the regressors output them
 // directly and the baseline normalization squares up residual offset.
 func (m *Model) PredictCurves(features []float64, freqs []int) []CurvePoint {
+	// One row block — baseline first, then every sweep frequency — feeds
+	// both regressors through ml.PredictBatch, so forests take the
+	// block-oriented tree-major path. Each batch element is bit-identical
+	// to the per-row Predict it replaces.
+	rows := make([][]float64, 0, len(freqs)+1)
+	rows = append(rows, sampleRow(features, m.BaselineFreqMHz))
+	for _, f := range freqs {
+		rows = append(rows, sampleRow(features, f))
+	}
+	times := ml.PredictBatch(m.timeModel, rows)
+	energies := ml.PredictBatch(m.energyModel, rows)
+
 	if m.Normalized {
-		baseSp := m.timeModel.Predict(sampleRow(features, m.BaselineFreqMHz))
-		baseNe := m.energyModel.Predict(sampleRow(features, m.BaselineFreqMHz))
+		baseSp, baseNe := times[0], energies[0]
 		// Normalized targets sit near 1 by construction; a near-zero or
 		// negative predicted baseline means the regressor extrapolated
 		// far outside its training range (linear models do on held-out
@@ -308,19 +319,17 @@ func (m *Model) PredictCurves(features []float64, freqs []int) []CurvePoint {
 			baseNe = 1
 		}
 		out := make([]CurvePoint, 0, len(freqs))
-		for _, f := range freqs {
-			row := sampleRow(features, f)
+		for i, f := range freqs {
 			out = append(out, CurvePoint{
 				FreqMHz:    f,
-				Speedup:    m.timeModel.Predict(row) / baseSp,
-				NormEnergy: m.energyModel.Predict(row) / baseNe,
+				Speedup:    times[i+1] / baseSp,
+				NormEnergy: energies[i+1] / baseNe,
 			})
 		}
 		return out
 	}
 
-	baseT := m.PredictTime(features, m.BaselineFreqMHz)
-	baseE := m.PredictEnergy(features, m.BaselineFreqMHz)
+	baseT, baseE := times[0], energies[0]
 	if baseT <= 0 {
 		baseT = 1
 	}
@@ -328,9 +337,8 @@ func (m *Model) PredictCurves(features []float64, freqs []int) []CurvePoint {
 		baseE = 1
 	}
 	out := make([]CurvePoint, 0, len(freqs))
-	for _, f := range freqs {
-		t := m.PredictTime(features, f)
-		e := m.PredictEnergy(features, f)
+	for i, f := range freqs {
+		t, e := times[i+1], energies[i+1]
 		sp, ne := 0.0, 0.0
 		if t > 0 {
 			sp = baseT / t

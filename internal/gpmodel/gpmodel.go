@@ -135,9 +135,16 @@ type CurvePoint struct {
 // The curve is re-normalized so the baseline frequency maps to exactly
 // (1.0, 1.0), as the prediction workflow of Figure 12 prescribes.
 func (m *Model) PredictCurves(mix kernels.InstructionMix, freqs []int) []CurvePoint {
-	baseRow := featureRow(mix, m.BaselineFreqMHz)
-	baseSpeed := m.speedup.Predict(baseRow)
-	baseEnergy := m.energy.Predict(baseRow)
+	// Baseline row first, then the sweep, through the block-oriented
+	// ml.PredictBatch path (bit-identical per row to Predict).
+	rows := make([][]float64, 0, len(freqs)+1)
+	rows = append(rows, featureRow(mix, m.BaselineFreqMHz))
+	for _, f := range freqs {
+		rows = append(rows, featureRow(mix, f))
+	}
+	speeds := ml.PredictBatch(m.speedup, rows)
+	energies := ml.PredictBatch(m.energy, rows)
+	baseSpeed, baseEnergy := speeds[0], energies[0]
 	if baseSpeed == 0 {
 		baseSpeed = 1
 	}
@@ -145,12 +152,11 @@ func (m *Model) PredictCurves(mix kernels.InstructionMix, freqs []int) []CurvePo
 		baseEnergy = 1
 	}
 	out := make([]CurvePoint, 0, len(freqs))
-	for _, f := range freqs {
-		row := featureRow(mix, f)
+	for i, f := range freqs {
 		out = append(out, CurvePoint{
 			FreqMHz:    f,
-			Speedup:    m.speedup.Predict(row) / baseSpeed,
-			NormEnergy: m.energy.Predict(row) / baseEnergy,
+			Speedup:    speeds[i+1] / baseSpeed,
+			NormEnergy: energies[i+1] / baseEnergy,
 		})
 	}
 	return out

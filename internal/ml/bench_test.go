@@ -19,6 +19,31 @@ func benchData(n int) ([][]float64, []float64) {
 	return X, y
 }
 
+// benchDataWide builds an n×d design with d-1 continuous columns plus one
+// discrete frequency-style column (cross-row ties, like the real datasets).
+func benchDataWide(n, d int) ([][]float64, []float64) {
+	rng := xrand.New(4242)
+	levels := []float64{800, 1000, 1200, 1400, 1600}
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		var s float64
+		for j := 0; j < d-1; j++ {
+			row[j] = rng.Float64() * 10
+			if j%3 == 0 {
+				s += math.Sin(row[j])
+			} else {
+				s += 0.1 * float64(j) * row[j]
+			}
+		}
+		row[d-1] = levels[rng.Intn(len(levels))]
+		X[i] = row
+		y[i] = s + row[d-1]/1600 + 0.02*rng.Norm()
+	}
+	return X, y
+}
+
 func BenchmarkLinearFit(b *testing.B) {
 	X, y := benchData(2000)
 	for i := 0; i < b.N; i++ {
@@ -56,6 +81,50 @@ func BenchmarkForestFit(b *testing.B) {
 		if err := m.Fit(X, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTreeFit is the single-tree training hot path: one CART fit on a
+// 2000×8 design with a discrete column.
+func BenchmarkTreeFit(b *testing.B) {
+	X, y := benchDataWide(2000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewTree(0, 1)
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFitLarge is the acceptance configuration for the training
+// engine: n=1000, d=16, 100 trees, serial (Workers=1) so it measures the
+// per-core engine rather than the worker pool.
+func BenchmarkForestFitLarge(b *testing.B) {
+	X, y := benchDataWide(1000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewForest(ForestConfig{NumTrees: 100, Seed: 1, Workers: 1})
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestPredictBatch measures bulk inference: 2000 rows through a
+// 50-tree forest per iteration.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	X, y := benchDataWide(2000, 8)
+	m := NewForest(ForestConfig{NumTrees: 50, Seed: 1})
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PredictBatch(m, X)
 	}
 }
 

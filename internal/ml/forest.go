@@ -37,7 +37,10 @@ type ForestConfig struct {
 
 // Forest is a bagged ensemble of CART regression trees with per-node feature
 // subsampling — the model the paper selects for both the speedup and the
-// normalized-energy domain-specific models.
+// normalized-energy domain-specific models. Trees are flat SoA structures
+// (see Tree); bulk inference should go through PredictBatch, which walks the
+// ensemble tree-by-tree so each tree's node arrays stay cache-resident
+// across the whole row block.
 type Forest struct {
 	cfg     ForestConfig
 	trees   []*Tree
@@ -61,15 +64,31 @@ func NewForest(cfg ForestConfig) *Forest {
 
 // Fit implements Regressor: trees are trained concurrently, each with an
 // independent generator split derived from the forest seed and the tree
-// index, so results do not depend on scheduling.
+// index, so results do not depend on scheduling. Each training task draws a
+// pooled workspace, gathers its bootstrap sample straight into the
+// workspace's column-major buffers from a shared transposed copy of X, and
+// grows the tree without per-node allocations.
 func (f *Forest) Fit(X [][]float64, y []float64) error {
 	n, d, err := checkXY(X, y)
 	if err != nil {
 		return err
 	}
-	// Own the data: bootstrap index slices reference these copies.
+	// Own the data: the OOB pass and the transposed training copy reference
+	// these, never the caller's slices.
 	Xc := cloneMatrix(X)
 	yc := append([]float64(nil), y...)
+	// One column-major copy shared (read-only) by every bootstrap gather:
+	// filling a tree's feature column walks one contiguous source column.
+	colData := make([]float64, n*d)
+	cols := make([][]float64, d)
+	for ff := 0; ff < d; ff++ {
+		cols[ff] = colData[ff*n : (ff+1)*n]
+	}
+	for i, row := range Xc {
+		for ff, v := range row {
+			cols[ff][i] = v
+		}
+	}
 
 	f.trees = make([]*Tree, f.cfg.NumTrees)
 	var inBag [][]bool
@@ -87,23 +106,34 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 		// The tree's generator derives from the forest seed and the tree
 		// index alone — no pre-split needed, scheduling cannot touch it.
 		rng := xrand.New(f.cfg.Seed ^ (uint64(ti)+1)*0xd1342543de82ef95)
-		// Bootstrap sample with replacement.
-		bx := make([][]float64, n)
-		by := make([]float64, n)
+		ws := getWorkspace()
+		defer putWorkspace(ws)
+		ws.reset(n, d)
+		// Bootstrap sample with replacement: draw the row multiset first
+		// (same generator order as ever), then gather column by column.
+		boot := ws.tmp[:n]
 		var bag []bool
 		if inBag != nil {
 			bag = make([]bool, n)
 		}
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
-			bx[i] = Xc[j]
-			by[i] = yc[j]
+			boot[i] = int32(j)
 			if bag != nil {
 				bag[j] = true
 			}
 		}
 		if inBag != nil {
 			inBag[ti] = bag
+		}
+		for ff := 0; ff < d; ff++ {
+			src, dst := cols[ff], ws.cols[ff]
+			for i, j := range boot {
+				dst[i] = src[j]
+			}
+		}
+		for i, j := range boot {
+			ws.y[i] = yc[j]
 		}
 		tree := NewTree(f.cfg.MaxDepth, f.cfg.MinLeaf)
 		if mf := f.cfg.MaxFeatures; mf > 0 && mf < d {
@@ -112,9 +142,7 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 				return perm[:mf]
 			}
 		}
-		if err := tree.Fit(bx, by); err != nil {
-			return fmt.Errorf("ml: forest tree %d: %w", ti, err)
-		}
+		tree.fit(ws)
 		f.trees[ti] = tree
 		treesTrained.Inc()
 		return nil
@@ -125,20 +153,26 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 
 	if f.cfg.ComputeOOB {
 		// For every sample, average the predictions of the trees whose
-		// bootstrap excluded it — an unbiased generalization estimate.
-		var yt, yp []float64
-		for i := 0; i < n; i++ {
-			var sum float64
-			var cnt int
-			for ti, t := range f.trees {
-				if !inBag[ti][i] {
-					sum += t.Predict(Xc[i])
-					cnt++
+		// bootstrap excluded it — an unbiased generalization estimate. The
+		// traversal is tree-major (each tree's flat nodes stay hot across
+		// all of its out-of-bag rows) but accumulates per sample in tree
+		// order, the exact summation order of the per-sample formulation.
+		sum := make([]float64, n)
+		cnt := make([]int, n)
+		for ti, t := range f.trees {
+			bag := inBag[ti]
+			for i := 0; i < n; i++ {
+				if !bag[i] {
+					sum[i] += t.Predict(Xc[i])
+					cnt[i]++
 				}
 			}
-			if cnt > 0 {
+		}
+		var yt, yp []float64
+		for i := 0; i < n; i++ {
+			if cnt[i] > 0 {
 				yt = append(yt, yc[i])
-				yp = append(yp, sum/float64(cnt))
+				yp = append(yp, sum[i]/float64(cnt[i]))
 			}
 		}
 		f.oobN = len(yt)
@@ -165,5 +199,58 @@ func (f *Forest) Predict(x []float64) float64 {
 	return s / float64(len(f.trees))
 }
 
+// PredictBatch is the block-oriented inference fast path: it applies the
+// ensemble to every row of X, traversing tree-by-tree so each flat tree is
+// walked while its node arrays are cache-resident. Row i's result is
+// bit-identical to Predict(X[i]). Unlike Predict's zero fallback, rows whose
+// width differs from the training dimension are rejected with an error.
+func (f *Forest) PredictBatch(X [][]float64) ([]float64, error) {
+	if len(f.trees) == 0 {
+		return nil, errUnfitted("forest")
+	}
+	if err := checkRowWidths(X, f.trees[0].d); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	f.predictBatchInto(X, out)
+	return out, nil
+}
+
+// predictBatchInto accumulates the ensemble mean for every row into out,
+// tree-major. Per row the summation order (tree 0, 1, ..., then one divide)
+// matches Predict exactly.
+func (f *Forest) predictBatchInto(X [][]float64, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	if len(f.trees) == 0 {
+		return
+	}
+	for _, t := range f.trees {
+		for i, x := range X {
+			out[i] += t.Predict(x)
+		}
+	}
+	inv := float64(len(f.trees))
+	for i := range out {
+		out[i] /= inv
+	}
+}
+
 // NumTrees returns the fitted ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
+
+func errUnfitted(kind string) error {
+	return fmt.Errorf("ml: predict on unfitted %s", kind)
+}
+
+// checkRowWidths validates a prediction block's shape against the model
+// dimension.
+func checkRowWidths(X [][]float64, d int) error {
+	for i, x := range X {
+		if len(x) != d {
+			return fmt.Errorf("ml: prediction row %d has %d features, model expects %d", i, len(x), d)
+		}
+	}
+	return nil
+}

@@ -62,7 +62,7 @@ func ForestFeatureImportance(f *Forest, numFeatures int) ([]float64, error) {
 	}
 	imp := make([]float64, numFeatures)
 	for _, t := range f.trees {
-		accumulateImportance(t.root, imp)
+		accumulateImportance(t, imp)
 	}
 	var total float64
 	for _, v := range imp {
@@ -76,17 +76,18 @@ func ForestFeatureImportance(f *Forest, numFeatures int) ([]float64, error) {
 	return imp, nil
 }
 
-// accumulateImportance walks a tree adding each split's recorded gain to its
-// feature. Gains are not stored on nodes, so the walk uses split counts as a
-// proxy weighted by subtree depth — deeper splits partition fewer samples.
-func accumulateImportance(n *treeNode, imp []float64) {
-	if n == nil || n.leaf {
-		return
+// accumulateImportance adds each split's weight to its feature. Gains are
+// not stored on nodes, so the walk uses split counts as a proxy weighted by
+// subtree size — deeper splits partition fewer samples. The flat node arrays
+// are laid out in preorder, so an ascending index sweep visits splits in the
+// same depth-first order (and accumulates in the same float order) as the
+// legacy pointer walk.
+func accumulateImportance(t *Tree, imp []float64) {
+	counts := t.subtreeLeafCounts()
+	for i, f := range t.feature {
+		if f >= 0 && int(f) < len(imp) {
+			// Weight a split by the size of the subtree it governs.
+			imp[f] += float64(counts[i])
+		}
 	}
-	if n.feature >= 0 && n.feature < len(imp) {
-		// Weight a split by the size of the subtree it governs.
-		imp[n.feature] += float64(nodeLeaves(n))
-	}
-	accumulateImportance(n.left, imp)
-	accumulateImportance(n.right, imp)
 }

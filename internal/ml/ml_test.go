@@ -630,3 +630,102 @@ func TestKFoldParallelPropagatesFoldError(t *testing.T) {
 		t.Fatal("expected constructor error to propagate from parallel folds")
 	}
 }
+
+// TestTreePredictRowWidths pins the documented width semantics of the flat
+// tree: rows narrower than the training dimension cannot be routed and
+// return 0 (the legacy engine silently sent them right at every missing
+// feature — an accident of the `feature < len(x)` guard); extra trailing
+// features are ignored; PredictBatch is the checked counterpart that
+// rejects any width mismatch instead.
+func TestTreePredictRowWidths(t *testing.T) {
+	X, y := synthLinear(xrand.New(31), 80, 0.05)
+	tree := NewTree(4, 1)
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{X[0][0]}); got != 0 {
+		t.Errorf("short row predicted %g, want the documented 0", got)
+	}
+	full := tree.Predict(X[0])
+	if got := tree.Predict(append(append([]float64(nil), X[0]...), 99)); got != full {
+		t.Errorf("extra trailing feature changed prediction: %g != %g", got, full)
+	}
+	if _, err := tree.PredictBatch([][]float64{{1}}); err == nil {
+		t.Error("PredictBatch accepted a short row")
+	}
+	if _, err := tree.PredictBatch([][]float64{append(append([]float64(nil), X[0]...), 99)}); err == nil {
+		t.Error("PredictBatch accepted an over-wide row")
+	}
+	out, err := tree.PredictBatch(X[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X[:5] {
+		if out[i] != tree.Predict(x) {
+			t.Errorf("batch row %d diverged from Predict", i)
+		}
+	}
+	if _, err := NewTree(0, 1).PredictBatch(X[:1]); err == nil {
+		t.Error("PredictBatch on an unfitted tree did not error")
+	}
+}
+
+// TestForestPredictBatchMatchesPredict pins the block-oriented inference
+// path: each batch element is bit-identical to the per-row Predict, width
+// mismatches error, and the package-level PredictBatch helper takes the
+// same fast path for forests.
+func TestForestPredictBatchMatchesPredict(t *testing.T) {
+	X, y := synthLinear(xrand.New(32), 100, 0.1)
+	f := NewForest(ForestConfig{NumTrees: 15, Seed: 5})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if out[i] != f.Predict(x) {
+			t.Fatalf("batch row %d = %g, Predict = %g", i, out[i], f.Predict(x))
+		}
+	}
+	if !reflect.DeepEqual(PredictBatch(f, X), out) {
+		t.Error("package-level PredictBatch diverged from Forest.PredictBatch")
+	}
+	if _, err := f.PredictBatch([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("PredictBatch accepted a mis-sized row")
+	}
+	if _, err := NewForest(ForestConfig{}).PredictBatch(X[:1]); err == nil {
+		t.Error("PredictBatch on an unfitted forest did not error")
+	}
+}
+
+// TestGridSearchSharedPermMatchesKFold pins the shuffle hoist: GridSearch
+// computes one Perm(n) and shares it across grid points, which must leave
+// every point's MAPE exactly equal to an independent KFoldMAPE run of the
+// same spec (which derives the identical permutation from (n, seed)).
+func TestGridSearchSharedPermMatchesKFold(t *testing.T) {
+	X, y := synthLinear(xrand.New(33), 90, 0.05)
+	base := Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 6}}
+	grid := map[string][]float64{"max_depth": {2, 5}, "min_samples_leaf": {1, 3}}
+	pts, err := GridSearch(base, grid, X, y, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}}
+		for k, v := range base.Params {
+			spec.Params[k] = v
+		}
+		for k, v := range p.Params {
+			spec.Params[k] = v
+		}
+		direct, err := KFoldMAPE(spec, X, y, 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MAPE != direct {
+			t.Errorf("grid point %v MAPE %v != direct k-fold %v", p.Params, p.MAPE, direct)
+		}
+	}
+}

@@ -153,54 +153,57 @@ func LoadRegressor(r io.Reader) (Regressor, error) {
 	}
 }
 
+// encodeTree renders the flat preorder node arrays back into the nested
+// nodeJSON envelope, byte-identical to what the legacy pointer trees wrote.
 func encodeTree(t *Tree) treeJSON {
-	return treeJSON{MaxDepth: t.MaxDepth, MinLeaf: t.MinLeaf, D: t.d, Root: encodeNode(t.root)}
+	tj := treeJSON{MaxDepth: t.MaxDepth, MinLeaf: t.MinLeaf, D: t.d}
+	if len(t.feature) > 0 {
+		tj.Root = encodeNode(t, 0)
+	}
+	return tj
 }
 
-func encodeNode(n *treeNode) *nodeJSON {
-	if n == nil {
-		return nil
-	}
-	if n.leaf {
-		return &nodeJSON{Leaf: true, Value: n.value}
+func encodeNode(t *Tree, i int32) *nodeJSON {
+	if t.feature[i] < 0 {
+		return &nodeJSON{Leaf: true, Value: t.value[i]}
 	}
 	return &nodeJSON{
-		Feature: n.feature, Thresh: n.thresh,
-		Left: encodeNode(n.left), Right: encodeNode(n.right),
+		Feature: int(t.feature[i]), Thresh: t.thresh[i],
+		Left: encodeNode(t, t.left[i]), Right: encodeNode(t, t.right[i]),
 	}
 }
 
 func decodeTree(p treeJSON) (*Tree, error) {
 	t := NewTree(p.MaxDepth, p.MinLeaf)
 	t.d = p.D
-	root, err := decodeNode(p.Root, 0)
-	if err != nil {
+	if p.Root == nil {
+		return t, nil
+	}
+	if err := decodeNode(t, p.Root, 0); err != nil {
 		return nil, err
 	}
-	t.root = root
 	return t, nil
 }
 
-func decodeNode(p *nodeJSON, depth int) (*treeNode, error) {
-	if p == nil {
-		return nil, nil
-	}
+// decodeNode appends the nested payload into the tree's SoA arrays in
+// preorder (node, left subtree, right subtree) — the same layout fit
+// produces, so loaded and freshly trained trees are indistinguishable.
+func decodeNode(t *Tree, p *nodeJSON, depth int) error {
 	if depth > 10000 {
-		return nil, fmt.Errorf("ml: persisted tree too deep (corrupt?)")
+		return fmt.Errorf("ml: persisted tree too deep (corrupt?)")
 	}
 	if p.Leaf {
-		return &treeNode{leaf: true, value: p.Value}, nil
+		t.pushLeaf(p.Value)
+		return nil
 	}
 	if p.Left == nil || p.Right == nil {
-		return nil, fmt.Errorf("ml: persisted split node missing a child")
+		return fmt.Errorf("ml: persisted split node missing a child")
 	}
-	l, err := decodeNode(p.Left, depth+1)
-	if err != nil {
-		return nil, err
+	node := t.pushSplit(p.Feature, p.Thresh)
+	t.left[node] = int32(len(t.feature))
+	if err := decodeNode(t, p.Left, depth+1); err != nil {
+		return err
 	}
-	r, err := decodeNode(p.Right, depth+1)
-	if err != nil {
-		return nil, err
-	}
-	return &treeNode{feature: p.Feature, thresh: p.Thresh, left: l, right: r}, nil
+	t.right[node] = int32(len(t.feature))
+	return decodeNode(t, p.Right, depth+1)
 }

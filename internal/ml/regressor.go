@@ -20,9 +20,16 @@ type Regressor interface {
 	Predict(x []float64) float64
 }
 
-// PredictBatch applies r to every row of X.
+// PredictBatch applies r to every row of X. Forests take the block-oriented
+// fast path (tree-major traversal over the flat node arrays); every other
+// regressor falls back to a per-row Predict loop. Either way out[i] is
+// bit-identical to r.Predict(X[i]).
 func PredictBatch(r Regressor, X [][]float64) []float64 {
 	out := make([]float64, len(X))
+	if f, ok := r.(*Forest); ok {
+		f.predictBatchInto(X, out)
+		return out
+	}
 	for i, x := range X {
 		out[i] = r.Predict(x)
 	}

@@ -2,32 +2,40 @@ package ml
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Tree is a CART regression tree: axis-aligned splits chosen by maximal
 // variance reduction, mean-value leaves.
+//
+// Training uses a column-major pre-sorted split finder (the exact greedy
+// algorithm of XGBoost and scikit-learn's presort path): every candidate
+// feature column is argsorted once per tree, and each node re-derives its
+// per-feature order by a stable in-place partition of the parent's index
+// arrays, so per-node split finding costs O(d·n) instead of the
+// O(d·n log n) a per-node sort pays. The fitted tree is stored as flat
+// structure-of-arrays node vectors in preorder (node, left subtree, right
+// subtree), which Predict walks without pointer chasing.
 type Tree struct {
 	// MaxDepth limits tree depth (0 = unbounded, scikit-learn's default).
 	MaxDepth int
 	// MinLeaf is the minimum samples per leaf.
 	MinLeaf int
-	// Features restricts the candidate split features (nil = all) — used
-	// by the random forest's per-node feature subsampling through
-	// featurePicker.
+	// featurePicker restricts the candidate split features (nil = all) —
+	// used by the random forest's per-node feature subsampling.
 	featurePicker func(d int) []int
 
-	root *treeNode
-	d    int
-}
+	d int
 
-type treeNode struct {
-	feature int
-	thresh  float64
-	left    *treeNode
-	right   *treeNode
-	value   float64
-	leaf    bool
+	// Flat SoA node storage in preorder; children always have larger
+	// indices than their parent. feature[i] < 0 marks a leaf whose mean
+	// target is value[i]; split nodes carry (feature, thresh, left, right).
+	feature []int32
+	thresh  []float64
+	left    []int32
+	right   []int32
+	value   []float64
 }
 
 // NewTree returns a regression tree with the given limits.
@@ -38,42 +46,176 @@ func NewTree(maxDepth, minLeaf int) *Tree {
 	return &Tree{MaxDepth: maxDepth, MinLeaf: minLeaf}
 }
 
+// treeWorkspace owns every growth-time buffer so fitting one tree performs
+// no per-node allocations: the column-major feature copy, the per-feature
+// argsort index arrays, the row list mirroring the legacy recursion's
+// original-order index slice, and the partition scratch. Workspaces are
+// pooled (getWorkspace/putWorkspace) and resized monotonically.
+type treeWorkspace struct {
+	n, d int
+	// cols[f][i] is feature f of sample i; colData is the shared backing.
+	cols    [][]float64
+	colData []float64
+	// sorted[f] lists sample indices ordered by (cols[f][·], index); every
+	// node owns a contiguous segment of each array.
+	sorted     [][]int32
+	sortedData []int32
+	y          []float64
+	// rows lists each node segment's samples in original row order — the
+	// exact order the legacy engine accumulated means and SSEs in, so leaf
+	// values stay bit-identical.
+	rows     []int32
+	tmp      []int32
+	goesLeft []bool
+	allFeats []int
+}
+
+var wsPool = sync.Pool{New: func() any { return new(treeWorkspace) }}
+
+func getWorkspace() *treeWorkspace  { return wsPool.Get().(*treeWorkspace) }
+func putWorkspace(w *treeWorkspace) { wsPool.Put(w) }
+
+// reset sizes the workspace for an n×d problem, reusing prior capacity.
+func (w *treeWorkspace) reset(n, d int) {
+	w.n, w.d = n, d
+	if cap(w.colData) < n*d {
+		w.colData = make([]float64, n*d)
+		w.sortedData = make([]int32, n*d)
+	}
+	w.colData = w.colData[:n*d]
+	w.sortedData = w.sortedData[:n*d]
+	if cap(w.cols) < d {
+		w.cols = make([][]float64, d)
+		w.sorted = make([][]int32, d)
+	}
+	w.cols = w.cols[:d]
+	w.sorted = w.sorted[:d]
+	for f := 0; f < d; f++ {
+		w.cols[f] = w.colData[f*n : (f+1)*n]
+		w.sorted[f] = w.sortedData[f*n : (f+1)*n]
+	}
+	if cap(w.y) < n {
+		w.y = make([]float64, n)
+		w.rows = make([]int32, n)
+		w.tmp = make([]int32, 0, n)
+		w.goesLeft = make([]bool, n)
+	}
+	w.y = w.y[:n]
+	w.rows = w.rows[:n]
+	w.goesLeft = w.goesLeft[:n]
+	if cap(w.allFeats) < d {
+		w.allFeats = make([]int, d)
+	}
+	w.allFeats = w.allFeats[:d]
+	for f := range w.allFeats {
+		w.allFeats[f] = f
+	}
+}
+
 // Fit implements Regressor.
 func (t *Tree) Fit(X [][]float64, y []float64) error {
 	n, d, err := checkXY(X, y)
 	if err != nil {
 		return err
 	}
-	t.d = d
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.reset(n, d)
+	for i, row := range X {
+		for f, v := range row {
+			ws.cols[f][i] = v
+		}
+		ws.y[i] = y[i]
 	}
-	t.root = t.build(X, y, idx, 0)
+	t.fit(ws)
 	return nil
 }
 
-// build grows the tree on the sample subset idx.
-func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode {
-	mean := meanOf(y, idx)
-	if len(idx) < 2*t.MinLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) || pureTargets(y, idx) {
-		return &treeNode{leaf: true, value: mean}
+// fit grows the tree from a loaded workspace (cols and y filled).
+func (t *Tree) fit(ws *treeWorkspace) {
+	t.d = ws.d
+	for i := range ws.rows {
+		ws.rows[i] = int32(i)
+	}
+	for f := 0; f < ws.d; f++ {
+		keys := ws.cols[f]
+		idx := ws.sorted[f]
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		// Total order (value, then index): ties cannot reorder across runs,
+		// so the result is unique — stable by construction.
+		slices.SortFunc(idx, func(a, b int32) int {
+			ka, kb := keys[a], keys[b]
+			if ka < kb {
+				return -1
+			}
+			if ka > kb {
+				return 1
+			}
+			return int(a - b)
+		})
+	}
+	// MinLeaf >= 1 bounds the tree at 2n-1 nodes; reserving that up front
+	// makes every pushLeaf/pushSplit append allocation-free.
+	maxNodes := 2*ws.n - 1
+	t.feature = make([]int32, 0, maxNodes)
+	t.thresh = make([]float64, 0, maxNodes)
+	t.left = make([]int32, 0, maxNodes)
+	t.right = make([]int32, 0, maxNodes)
+	t.value = make([]float64, 0, maxNodes)
+	t.grow(ws, 0, ws.n, 0)
+}
+
+func (t *Tree) pushLeaf(mean float64) int32 {
+	i := int32(len(t.feature))
+	t.feature = append(t.feature, -1)
+	t.thresh = append(t.thresh, 0)
+	t.left = append(t.left, -1)
+	t.right = append(t.right, -1)
+	t.value = append(t.value, mean)
+	return i
+}
+
+func (t *Tree) pushSplit(feature int, thresh float64) int32 {
+	i := int32(len(t.feature))
+	t.feature = append(t.feature, int32(feature))
+	t.thresh = append(t.thresh, thresh)
+	t.left = append(t.left, -1)
+	t.right = append(t.right, -1)
+	t.value = append(t.value, 0)
+	return i
+}
+
+// grow builds the subtree over segment [lo, hi) of the workspace index
+// arrays and returns its root node index. The scan preserves the legacy
+// engine's selection semantics exactly: splits are only evaluated between
+// strictly distinct adjacent sorted values, gains compare with strict >, and
+// candidate features are probed in picker order.
+func (t *Tree) grow(ws *treeWorkspace, lo, hi, depth int) int32 {
+	m := hi - lo
+	rows := ws.rows[lo:hi]
+	mean := meanRows(ws.y, rows)
+	if m < 2*t.MinLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) || pureRows(ws.y, rows) {
+		return t.pushLeaf(mean)
 	}
 
-	feats := t.candidateFeatures()
+	feats := ws.allFeats
+	if t.featurePicker != nil {
+		feats = t.featurePicker(t.d)
+	}
 	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
-	parentSSE := sseOf(y, idx, mean)
+	parentSSE := sseRows(ws.y, rows, mean)
 
-	sorted := make([]int, len(idx))
 	for _, f := range feats {
-		copy(sorted, idx)
-		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		seg := ws.sorted[f][lo:hi]
+		keys := ws.cols[f]
 
 		// Prefix scan: evaluate every split position with running sums.
 		var sumL, sumSqL float64
-		sumR, sumSqR := sums(y, sorted)
-		for i := 0; i < len(sorted)-1; i++ {
-			v := y[sorted[i]]
+		sumR, sumSqR := sumsRows(ws.y, seg)
+		for i := 0; i < m-1; i++ {
+			v := ws.y[seg[i]]
 			sumL += v
 			sumSqL += v * v
 			sumR -= v
@@ -81,10 +223,10 @@ func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode
 			// Can't split between equal feature values (exact stored-value
 			// identity of adjacent sorted entries, not a tolerance check).
 			//dsalint:ignore floateq
-			if X[sorted[i]][f] == X[sorted[i+1]][f] {
+			if keys[seg[i]] == keys[seg[i+1]] {
 				continue
 			}
-			nl, nr := i+1, len(sorted)-i-1
+			nl, nr := i+1, m-i-1
 			if nl < t.MinLeaf || nr < t.MinLeaf {
 				continue
 			}
@@ -94,113 +236,165 @@ func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode
 			if gain > bestGain {
 				bestGain = gain
 				bestFeat = f
-				bestThresh = 0.5 * (X[sorted[i]][f] + X[sorted[i+1]][f])
+				bestThresh = 0.5 * (keys[seg[i]] + keys[seg[i+1]])
 			}
 		}
 	}
 	if bestFeat < 0 || bestGain <= 1e-12 {
-		return &treeNode{leaf: true, value: mean}
+		return t.pushLeaf(mean)
 	}
 
-	var li, ri []int
-	for _, i := range idx {
-		if X[i][bestFeat] <= bestThresh {
-			li = append(li, i)
-		} else {
-			ri = append(ri, i)
+	// Stable in-place partition of every per-feature segment (and the row
+	// list) around the chosen split: left block keeps its relative order,
+	// then the right block, so each child segment is already sorted.
+	keys := ws.cols[bestFeat]
+	nl := 0
+	for _, r := range rows {
+		gl := keys[r] <= bestThresh
+		ws.goesLeft[r] = gl
+		if gl {
+			nl++
 		}
 	}
-	return &treeNode{
-		feature: bestFeat,
-		thresh:  bestThresh,
-		left:    t.build(X, y, li, depth+1),
-		right:   t.build(X, y, ri, depth+1),
+	stablePartition(rows, ws.goesLeft, ws.tmp)
+	for f := 0; f < ws.d; f++ {
+		stablePartition(ws.sorted[f][lo:hi], ws.goesLeft, ws.tmp)
 	}
+
+	node := t.pushSplit(bestFeat, bestThresh)
+	t.left[node] = t.grow(ws, lo, lo+nl, depth+1)
+	t.right[node] = t.grow(ws, lo+nl, hi, depth+1)
+	return node
 }
 
-// candidateFeatures returns the features considered at this node.
-func (t *Tree) candidateFeatures() []int {
-	if t.featurePicker != nil {
-		return t.featurePicker(t.d)
+// stablePartition reorders seg so rows flagged goesLeft come first, both
+// blocks keeping their relative order. tmp must have capacity >= len(seg);
+// the right block is staged there and copied back, so nothing allocates.
+func stablePartition(seg []int32, goesLeft []bool, tmp []int32) {
+	k := 0
+	rest := tmp[:0]
+	for _, r := range seg {
+		if goesLeft[r] {
+			seg[k] = r
+			k++
+		} else {
+			rest = append(rest, r)
+		}
 	}
-	all := make([]int, t.d)
-	for i := range all {
-		all[i] = i
-	}
-	return all
+	copy(seg[k:], rest)
 }
 
-// Predict implements Regressor.
+// Predict implements Regressor. A row narrower than the training dimension
+// cannot be routed through the tree; Predict returns 0 for it (use
+// PredictBatch for an explicit error). Extra trailing features are ignored.
 func (t *Tree) Predict(x []float64) float64 {
-	n := t.root
-	if n == nil {
+	if len(t.feature) == 0 || len(x) < t.d {
 		return 0
 	}
-	for !n.leaf {
-		if n.feature < len(x) && x[n.feature] <= n.thresh {
-			n = n.left
+	i := int32(0)
+	for {
+		f := t.feature[i]
+		if f < 0 {
+			return t.value[i]
+		}
+		if x[f] <= t.thresh[i] {
+			i = t.left[i]
 		} else {
-			n = n.right
+			i = t.right[i]
 		}
 	}
-	return n.value
+}
+
+// PredictBatch applies the fitted tree to every row of X, rejecting rows
+// whose width differs from the training dimension — the checked counterpart
+// of Predict's documented zero fallback.
+func (t *Tree) PredictBatch(X [][]float64) ([]float64, error) {
+	if len(t.feature) == 0 {
+		return nil, errUnfitted("tree")
+	}
+	if err := checkRowWidths(X, t.d); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = t.Predict(x)
+	}
+	return out, nil
 }
 
 // Depth returns the fitted tree's depth (0 for a stump).
-func (t *Tree) Depth() int { return nodeDepth(t.root) }
-
-// Leaves returns the fitted leaf count.
-func (t *Tree) Leaves() int { return nodeLeaves(t.root) }
-
-func nodeDepth(n *treeNode) int {
-	if n == nil || n.leaf {
+func (t *Tree) Depth() int {
+	if len(t.feature) == 0 {
 		return 0
 	}
-	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	return t.depthAt(0)
+}
+
+func (t *Tree) depthAt(i int32) int {
+	if t.feature[i] < 0 {
+		return 0
+	}
+	l, r := t.depthAt(t.left[i]), t.depthAt(t.right[i])
 	if l > r {
 		return l + 1
 	}
 	return r + 1
 }
 
-func nodeLeaves(n *treeNode) int {
-	if n == nil {
-		return 0
+// Leaves returns the fitted leaf count.
+func (t *Tree) Leaves() int {
+	var n int
+	for _, f := range t.feature {
+		if f < 0 {
+			n++
+		}
 	}
-	if n.leaf {
-		return 1
-	}
-	return nodeLeaves(n.left) + nodeLeaves(n.right)
+	return n
 }
 
-func meanOf(y []float64, idx []int) float64 {
+// subtreeLeafCounts returns, for every node, the number of leaves under it.
+// Children follow their parent in the preorder layout, so one reverse sweep
+// suffices.
+func (t *Tree) subtreeLeafCounts() []int32 {
+	counts := make([]int32, len(t.feature))
+	for i := len(t.feature) - 1; i >= 0; i-- {
+		if t.feature[i] < 0 {
+			counts[i] = 1
+		} else {
+			counts[i] = counts[t.left[i]] + counts[t.right[i]]
+		}
+	}
+	return counts
+}
+
+func meanRows(y []float64, rows []int32) float64 {
 	var s float64
-	for _, i := range idx {
+	for _, i := range rows {
 		s += y[i]
 	}
-	return s / float64(len(idx))
+	return s / float64(len(rows))
 }
 
-func sseOf(y []float64, idx []int, mean float64) float64 {
+func sseRows(y []float64, rows []int32, mean float64) float64 {
 	var s float64
-	for _, i := range idx {
+	for _, i := range rows {
 		d := y[i] - mean
 		s += d * d
 	}
 	return s
 }
 
-func sums(y []float64, idx []int) (sum, sumSq float64) {
-	for _, i := range idx {
+func sumsRows(y []float64, rows []int32) (sum, sumSq float64) {
+	for _, i := range rows {
 		sum += y[i]
 		sumSq += y[i] * y[i]
 	}
 	return sum, sumSq
 }
 
-func pureTargets(y []float64, idx []int) bool {
-	first := y[idx[0]]
-	for _, i := range idx[1:] {
+func pureRows(y []float64, rows []int32) bool {
+	first := y[rows[0]]
+	for _, i := range rows[1:] {
 		if math.Abs(y[i]-first) > 1e-15 {
 			return false
 		}

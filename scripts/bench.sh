@@ -1,12 +1,15 @@
 #!/bin/sh
-# scripts/bench.sh — perf baseline for the deterministic parallel engine.
+# scripts/bench.sh — perf baselines for the deterministic parallel engine and
+# the ML training engine.
 #
 # Runs the serial-vs-parallel benchmarks and emits BENCH_parallel.json with
-# the wall time of each arm and the parallel speedup, so perf regressions in
-# the engine are diffable across commits:
+# the wall time of each arm and the parallel speedup, then runs the CART/
+# forest training benchmarks and emits BENCH_ml.json comparing the current
+# pre-sorted engine against the recorded legacy (per-node sort.Slice)
+# baseline, so perf regressions in either engine are diffable across commits:
 #
-#   ./scripts/bench.sh            # writes ./BENCH_parallel.json
-#   OUT=/tmp/b.json ./scripts/bench.sh
+#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json
+#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json ./scripts/bench.sh
 #
 # BENCHTIME controls averaging (default 3x; use 1x for a smoke run).
 set -eu
@@ -14,6 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${OUT:-BENCH_parallel.json}
+ML_OUT=${ML_OUT:-BENCH_ml.json}
 BENCHTIME=${BENCHTIME:-3x}
 
 BENCH_GOMAXPROCS=${GOMAXPROCS:-$(nproc)}
@@ -42,3 +46,39 @@ END {
 }'
 
 echo "wrote $OUT"
+
+# ML training engine: tree fit, the acceptance-gate forest fit (n=1000, d=16,
+# 100 trees) and block prediction. The legacy_* fields below were measured
+# once from the pre-refactor engine (per-node reflection sort.Slice, pointer
+# nodes, per-node index allocation) at benchtime 3x on the reference runner
+# (Intel Xeon @ 2.10GHz), and stay fixed so every rerun reports the speedup
+# and allocation ratio of the pre-sorted SoA engine against that baseline.
+mlraw=$(go test -bench 'TreeFit|ForestFitLarge|ForestPredictBatch' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/ml)
+echo "$mlraw"
+
+echo "$mlraw" | awk -v out="$ML_OUT" '
+/^BenchmarkTreeFit[-\t ]/            { tree_ns = $3; tree_allocs = $7 }
+/^BenchmarkForestFitLarge[-\t ]/     { forest_ns = $3; forest_allocs = $7 }
+/^BenchmarkForestPredictBatch[-\t ]/ { batch_ns = $3 }
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    if (tree_ns == "" || forest_ns == "" || batch_ns == "") {
+        print "bench.sh: missing ML benchmark rows in go test output" > "/dev/stderr"
+        exit 1
+    }
+    legacy_tree_ns = 16737282; legacy_tree_allocs = 48940
+    legacy_forest_ns = 1545137444; legacy_forest_allocs = 2634758
+    legacy_batch_ns = 21879380
+    printf "{\n" > out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"legacy_cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz\",\n" >> out
+    printf "  \"tree_fit\": {\"ns_op\": %s, \"allocs_op\": %s, \"legacy_ns_op\": %d, \"legacy_allocs_op\": %d, \"speedup\": %.3f, \"alloc_ratio\": %.3f},\n", \
+        tree_ns, tree_allocs, legacy_tree_ns, legacy_tree_allocs, legacy_tree_ns / tree_ns, legacy_tree_allocs / tree_allocs >> out
+    printf "  \"forest_fit_large\": {\"ns_op\": %s, \"allocs_op\": %s, \"legacy_ns_op\": %d, \"legacy_allocs_op\": %d, \"speedup\": %.3f, \"alloc_ratio\": %.3f},\n", \
+        forest_ns, forest_allocs, legacy_forest_ns, legacy_forest_allocs, legacy_forest_ns / forest_ns, legacy_forest_allocs / forest_allocs >> out
+    printf "  \"forest_predict_batch\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f}\n", \
+        batch_ns, legacy_batch_ns, legacy_batch_ns / batch_ns >> out
+    printf "}\n" >> out
+}'
+
+echo "wrote $ML_OUT"
