@@ -5,11 +5,15 @@
 #   2. go vet       stdlib static analysis
 #   3. go build     everything compiles
 #   4. go test -race  full test suite under the race detector
-#   5. dsalint      the domain-aware suite (internal/analysis): unit
-#                   consistency, float equality, seeded randomness, map-order
-#                   determinism, goroutine joins, dead assignments
+#   5. results      reproduce -quick regenerated and diffed against the
+#                   checked-in results/quick snapshot (drift guard)
+#   6. dsalint      the domain-aware suite (internal/analysis): syntactic
+#                   passes plus the interprocedural determinism contracts
+#                   (forkabsorb, wallclock, detloop, sharedwrite, floatacc);
+#                   self-lint must report zero non-baselined findings
 #
 # Run from the repository root: ./ci.sh
+# Artifacts (dsalint JSON report) land in ci-artifacts/.
 set -eu
 
 cd "$(dirname "$0")"
@@ -40,6 +44,13 @@ go test -race ./...
 echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml"
 go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml
 
+# The analysis engine itself must be deterministic and race-free: its tests
+# build call graphs and run every pass concurrently-adjacent code, so run the
+# package twice under the race detector like the other concurrency-bearing
+# packages.
+echo "==> go test -race -count=2 ./internal/analysis"
+go test -race -count=2 ./internal/analysis
+
 # Parallel-vs-serial equivalence smoke: regenerate a figure and the cluster
 # resilience study with Jobs=1 and Jobs=0 under the race detector and require
 # byte-identical results (the engine's core contract, end to end).
@@ -62,7 +73,21 @@ diff -r "$obsdir/plain" "$obsdir/observed2"
 diff "$obsdir/m1.json" "$obsdir/m2.json"
 diff "$obsdir/t1.txt" "$obsdir/t2.txt"
 
-echo "==> dsalint ./..."
-go run ./cmd/dsalint ./...
+# Results drift guard: the checked-in results/quick snapshot must match what
+# cmd/reproduce produces at HEAD, so stale committed numbers cannot survive a
+# code change that moves them.
+echo "==> results drift guard (reproduce -quick vs results/quick)"
+"$obsdir/reproduce" -quick -out "$obsdir/drift" >/dev/null
+diff -r results/quick "$obsdir/drift"
+
+# Self-lint: the full domain-aware suite over the whole module. The JSON
+# report is archived for inspection; the text run is the hard gate and must
+# report zero findings that are not baselined in source (//dsalint:ignore).
+echo "==> dsalint ./... (self-lint, JSON report archived)"
+mkdir -p ci-artifacts
+go run ./cmd/dsalint -json ./... > ci-artifacts/dsalint.json || {
+    echo "dsalint: non-baselined findings (see ci-artifacts/dsalint.json)" >&2
+    exit 1
+}
 
 echo "CI gate passed."

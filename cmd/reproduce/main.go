@@ -16,7 +16,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"time"
 
 	"dsenergy/internal/cliutil"
 	"dsenergy/internal/experiments"
@@ -40,8 +39,11 @@ func main() {
 		fail(err)
 	}
 
+	// Per-file wall time lands in the quarantined -profile dump; stdout
+	// stays deterministic so progress output is byte-identical across runs.
 	write := func(name string, gen func(f *os.File) error) {
-		start := time.Now()
+		stop := cfg.Obs.Profile().Phase("reproduce/" + name).Start()
+		defer stop()
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
@@ -54,7 +56,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %-28s (%s)\n", path, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("wrote %s\n", path)
 	}
 
 	// Tables.

@@ -53,6 +53,10 @@ type Pass struct {
 	// may be missing for code the checker could not resolve; passes must
 	// treat absent types as "unknown", not as a match.
 	Info *types.Info
+	// Prog is the whole-module call graph built once per Runner.Run and
+	// shared by every pass; interprocedural passes reach through it, local
+	// passes ignore it. Nil only when a pass is run outside a Runner.
+	Prog *Program
 
 	analyzer string
 	diags    *[]Diagnostic
@@ -105,6 +109,11 @@ func All() []*Analyzer {
 		GoroLeak,
 		DeadAssign,
 		SortSlice,
+		ForkAbsorb,
+		WallClock,
+		DetLoop,
+		SharedWrite,
+		FloatAcc,
 	}
 }
 

@@ -22,6 +22,11 @@ var fixtureCases = []struct {
 	{GoroLeak, []string{"goroleak/internal/synergy", "goroleak/other"}},
 	{DeadAssign, []string{"deadassign"}},
 	{SortSlice, []string{"sortslice/internal/ml", "sortslice/other"}},
+	{ForkAbsorb, []string{"forkabsorb", "forkabsorb/internal/obs", "forkabsorb/internal/parallel", "forkabsorb/internal/xrand"}},
+	{WallClock, []string{"wallclock/internal/synergy", "wallclock/internal/obs", "wallclock/internal/util"}},
+	{DetLoop, []string{"detloop"}},
+	{SharedWrite, []string{"sharedwrite", "sharedwrite/internal/parallel"}},
+	{FloatAcc, []string{"floatacc", "floatacc/internal/parallel"}},
 }
 
 // loadFixtures loads the named testdata directories with a shared loader.

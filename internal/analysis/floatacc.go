@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAcc flags floating-point reductions whose accumulation order is not
+// fixed by the program. Float addition is not associative: summing the same
+// values in a different order changes low-order bits, and this repository
+// pins its results byte-for-byte, so "the same sum either way" is not true
+// here. Two orderings are nondeterministic and therefore flagged:
+//
+//   - map iteration order: sum += v inside range over a map — Go randomizes
+//     the iteration per run, so the reduction differs between runs;
+//   - goroutine schedule order: a compound float assignment to a variable
+//     captured by a go-statement closure or a pool task closure — the
+//     interleaving picks the order (and unsynchronized, it is also a race).
+//
+// The standing fixes: iterate sorted keys, or reduce per task into slots
+// and fold the slots in task order after the join.
+var FloatAcc = &Analyzer{
+	Name: "floatacc",
+	Doc:  "flag float accumulation in map-iteration or goroutine-schedule order",
+	Run:  runFloatAcc,
+}
+
+func runFloatAcc(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(x.X); t != nil && isMapType(t) && !pass.IsTestFile(x.Pos()) {
+				checkMapRangeFloats(pass, x)
+			}
+		case *ast.GoStmt:
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok && !pass.IsTestFile(x.Pos()) {
+				checkCapturedFloatAcc(pass, lit, nil)
+			}
+		case *ast.CallExpr:
+			if lit, idx := poolClosure(pass, x); lit != nil && !pass.IsTestFile(lit.Pos()) {
+				checkCapturedFloatAcc(pass, lit, idx)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeFloats flags float accumulation into targets declared outside
+// the range body: each iteration folds into the running value in map order.
+// Loop-local accumulators reset every iteration and stay silent.
+func checkMapRangeFloats(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, ok := accumulationTarget(pass, asg)
+		if !ok {
+			return true
+		}
+		obj := identObject(pass, baseExpr(lhs))
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()) {
+			return true
+		}
+		pass.Reportf(asg.Pos(), "float accumulation into %s in map iteration order; float addition is not associative — iterate sorted keys", obj.Name())
+		return true
+	})
+}
+
+// checkCapturedFloatAcc flags compound float assignments to captured
+// variables inside a concurrent closure. Index-disjoint slot writes
+// (acc[i] += v with i the task index) are the sanctioned reduction shape
+// and stay silent.
+func checkCapturedFloatAcc(pass *Pass, lit *ast.FuncLit, idxParam types.Object) {
+	var taint taintSet
+	if idxParam != nil {
+		taint = localTaint(pass, lit.Body, []types.Object{idxParam})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, ok := accumulationTarget(pass, asg)
+		if !ok {
+			return true
+		}
+		captured, obj := capturedObject(pass, lhs, lit.Pos(), lit.End())
+		if !captured {
+			return true
+		}
+		if ie, isIdx := unparen(lhs).(*ast.IndexExpr); isIdx && indexChainMentions(pass, ie, taint) {
+			return true
+		}
+		pass.Reportf(asg.Pos(), "float accumulation into captured %s in goroutine schedule order; reduce into per-task slots and fold after the join", obj.Name())
+		return true
+	})
+}
+
+// accumulationTarget returns the LHS of a float accumulation: x += e,
+// x -= e, x *= e, x /= e, or x = x ⊕ e (either operand position).
+func accumulationTarget(pass *Pass, asg *ast.AssignStmt) (ast.Expr, bool) {
+	if len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return nil, false
+	}
+	lhs := asg.Lhs[0]
+	if !isFloat(pass.TypeOf(lhs)) {
+		return nil, false
+	}
+	switch asg.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return lhs, true
+	case token.ASSIGN:
+		bin, ok := unparen(asg.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return nil, false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil, false
+		}
+		lobj := identObject(pass, baseExpr(lhs))
+		if lobj == nil {
+			return nil, false
+		}
+		for _, operand := range []ast.Expr{bin.X, bin.Y} {
+			if o := identObject(pass, baseExpr(operand)); o == lobj {
+				return lhs, true
+			}
+		}
+	}
+	return nil, false
+}

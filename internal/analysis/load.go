@@ -18,6 +18,7 @@ type Package struct {
 	Fset       *token.FileSet
 	Dir        string // relative to the loader root; "." for the root package
 	ImportPath string
+	ModulePath string      // the loader's module path, shared by every package of a run
 	Files      []*ast.File // primary package files plus external _test package files
 	Info       *types.Info
 }
@@ -158,6 +159,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		Fset:       l.fset,
 		Dir:        dir,
 		ImportPath: importPath,
+		ModulePath: l.ModulePath,
 		Files:      files,
 		Info:       info,
 	}, nil

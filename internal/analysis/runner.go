@@ -34,6 +34,10 @@ func (r *Runner) Disable(name string) error {
 // Run executes every enabled pass over every package and returns the
 // surviving findings sorted by position.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	// The call graph spans every package of the run so interprocedural
+	// passes see cross-package chains; building it once keeps the per-pass
+	// cost at lookup time.
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
@@ -48,6 +52,7 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 				Dir:        pkg.Dir,
 				ImportPath: pkg.ImportPath,
 				Info:       pkg.Info,
+				Prog:       prog,
 				analyzer:   a.Name,
 				diags:      &found,
 			}

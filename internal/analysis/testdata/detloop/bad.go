@@ -1,0 +1,34 @@
+// Seeded detloop violations: results emitted from inside range-over-map —
+// directly, through an io.Writer, and laundered through a render helper —
+// land in the output in randomized map order.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func printPlan(w io.Writer, plan map[string]int) {
+	for k, mhz := range plan {
+		fmt.Fprintf(w, "%s -> %d MHz\n", k, mhz) // map-ordered print
+	}
+}
+
+func writeRaw(w io.Writer, rows map[string][]byte) {
+	for _, row := range rows {
+		w.Write(row) // map-ordered io.Writer write
+	}
+}
+
+func renderAll(w io.Writer, series map[string][]float64) {
+	for name, ys := range series {
+		renderSeries(w, name, ys) // helper reaches fmt.Fprintf transitively
+	}
+}
+
+func renderSeries(w io.Writer, name string, ys []float64) {
+	fmt.Fprintf(w, "== %s ==\n", name)
+	for _, y := range ys {
+		fmt.Fprintf(w, "%.4f\n", y)
+	}
+}

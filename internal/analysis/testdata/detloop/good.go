@@ -1,0 +1,28 @@
+// Clean counterparts: the standing idiom — collect keys, sort, range the
+// sorted slice — and map ranges that only aggregate without emitting.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func printPlanSorted(w io.Writer, plan map[string]int) {
+	keys := make([]string, 0, len(plan))
+	for k := range plan {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s -> %d MHz\n", k, plan[k]) // slice order: canonical
+	}
+}
+
+func countEntries(w io.Writer, plan map[string]int) {
+	n := 0
+	for range plan {
+		n++ // aggregation without emission is order-invariant
+	}
+	fmt.Fprintf(w, "%d entries\n", n)
+}

@@ -1,0 +1,49 @@
+// Seeded floatacc violations: float reductions folded in map-iteration
+// order and in goroutine-schedule order. Float addition is not associative,
+// so either ordering changes the low bits between runs.
+package fixture
+
+import (
+	"sync"
+
+	"fixture/floatacc/internal/parallel"
+)
+
+func sumEnergies(byKernel map[string]float64) float64 {
+	total := 0.0
+	for _, e := range byKernel {
+		total += e // folded in map iteration order
+	}
+	return total
+}
+
+func meanByExplicitAdd(byKernel map[string]float64) float64 {
+	mean := 0.0
+	for _, e := range byKernel {
+		mean = mean + e/float64(len(byKernel)) // x = x + e form
+	}
+	return mean
+}
+
+func sumInGoroutines(xs []float64) float64 {
+	var wg sync.WaitGroup
+	sum := 0.0
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			sum += x // schedule-ordered (and racy) reduction
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+func sumInPool(xs []float64) (float64, error) {
+	sum := 0.0
+	err := parallel.ForEach(len(xs), 4, func(i int) error {
+		sum += xs[i] // pool tasks fold in completion order
+		return nil
+	})
+	return sum, err
+}

@@ -1,0 +1,57 @@
+// Clean counterparts: sorted-key folds, slice-order folds, loop-local
+// accumulators, and the per-task-slot reduction shape.
+package fixture
+
+import (
+	"sort"
+
+	"fixture/floatacc/internal/parallel"
+)
+
+func sumEnergiesSorted(byKernel map[string]float64) float64 {
+	keys := make([]string, 0, len(byKernel))
+	for k := range byKernel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += byKernel[k] // slice order: canonical
+	}
+	return total
+}
+
+func sumSlice(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x // slice iteration order is fixed
+	}
+	return total
+}
+
+func loopLocalAccumulator(groups map[string][]float64) int {
+	n := 0
+	for _, ys := range groups {
+		sub := 0.0 // resets every iteration: cannot leak map order
+		for _, y := range ys {
+			sub += y
+		}
+		if sub > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func perSlotReduction(xs []float64) (float64, error) {
+	slots := make([]float64, len(xs))
+	err := parallel.ForEach(len(xs), 4, func(i int) error {
+		slots[i] += xs[i] * xs[i] // per-task slot, folded after the join
+		return nil
+	})
+	total := 0.0
+	for _, s := range slots {
+		total += s // fold in slice order after the pool finished
+	}
+	return total, err
+}

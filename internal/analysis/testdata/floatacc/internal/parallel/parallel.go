@@ -1,0 +1,11 @@
+// Mimics the bounded worker pool for the schedule-order accumulation case.
+package parallel
+
+func ForEach(n, workers int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

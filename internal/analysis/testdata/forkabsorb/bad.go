@@ -1,0 +1,44 @@
+// Seeded forkabsorb violations: an unabsorbed fan-out, an absorb buried in
+// one branch of a conditional, and fan-outs performed inside parallel tasks
+// on schedule-shared receivers.
+package fixture
+
+import (
+	"fixture/forkabsorb/internal/obs"
+	"fixture/forkabsorb/internal/parallel"
+	"fixture/forkabsorb/internal/xrand"
+)
+
+func neverAbsorbed(o *obs.Observer, n int) {
+	forks := o.ForkN(n) // fan-out with no matching AbsorbAll
+	for i := range forks {
+		forks[i].Note("task")
+	}
+}
+
+func absorbedConditionally(o *obs.Observer, n int, lucky bool) {
+	forks := o.ForkN(n) // absorb happens on one branch only
+	for i := range forks {
+		forks[i].Note("task")
+	}
+	if lucky {
+		o.AbsorbAll(forks)
+	}
+}
+
+func splitInsideTask(r *xrand.Rand, vals []float64) error {
+	return parallel.ForEach(len(vals), 4, func(i int) error {
+		rr := r.Split() // stream derivation order follows the schedule
+		vals[i] = float64(rr.Uint64())
+		return nil
+	})
+}
+
+func forkInsideGoroutine(o *obs.Observer, done chan struct{}) {
+	go func() {
+		child := o.Fork() // fork on shared observer inside a goroutine
+		child.Note("late")
+		close(done)
+	}()
+	<-done
+}

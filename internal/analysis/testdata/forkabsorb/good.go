@@ -1,0 +1,53 @@
+// Clean counterparts: sibling absorb (early error returns allowed — absorb
+// -nothing-on-error is the contract), deferred absorb, escaping results,
+// and the pre-split idiom with task-indexed streams.
+package fixture
+
+import (
+	"fixture/forkabsorb/internal/obs"
+	"fixture/forkabsorb/internal/parallel"
+	"fixture/forkabsorb/internal/xrand"
+)
+
+func forkAbsorbSibling(o *obs.Observer, n int) error {
+	forks := o.ForkN(n)
+	err := parallel.ForEach(n, 4, func(i int) error {
+		forks[i].Note("task")
+		return nil
+	})
+	if err != nil {
+		return err // error path deliberately skips absorption
+	}
+	o.AbsorbAll(forks)
+	return nil
+}
+
+func forkAbsorbDeferred(o *obs.Observer, n int) {
+	forks := o.ForkN(n)
+	defer o.AbsorbAll(forks)
+	for i := range forks {
+		forks[i].Note("task")
+	}
+}
+
+func forkEscapes(o *obs.Observer, n int) []*obs.Observer {
+	forks := o.ForkN(n) // handed off whole: the caller owns the absorb
+	return forks
+}
+
+func preSplitStreams(r *xrand.Rand, vals []float64) error {
+	rngs := r.SplitN(len(vals)) // split in task order, before the pool
+	return parallel.ForEach(len(vals), 4, func(i int) error {
+		vals[i] = float64(rngs[i].Uint64())
+		return nil
+	})
+}
+
+func taskLocalDerivation(r *xrand.Rand, vals []float64) error {
+	rngs := r.SplitN(len(vals))
+	return parallel.ForEach(len(vals), 4, func(i int) error {
+		rr := rngs[i].Split() // deriving from the task's own stream is fine
+		vals[i] = float64(rr.Uint64())
+		return nil
+	})
+}

@@ -1,0 +1,30 @@
+// Mimics the real observability handle: forked per task in task order,
+// absorbed back after the join. Having both Fork/ForkN and their
+// Absorb/AbsorbAll counterparts is what arms the pairing contract.
+package obs
+
+type Observer struct{ spans []string }
+
+func New() *Observer { return &Observer{} }
+
+func (o *Observer) Fork() *Observer { return &Observer{} }
+
+func (o *Observer) ForkN(n int) []*Observer {
+	out := make([]*Observer, n)
+	for i := range out {
+		out[i] = o.Fork()
+	}
+	return out
+}
+
+func (o *Observer) Absorb(child *Observer) {
+	o.spans = append(o.spans, child.spans...)
+}
+
+func (o *Observer) AbsorbAll(children []*Observer) {
+	for _, c := range children {
+		o.Absorb(c)
+	}
+}
+
+func (o *Observer) Note(s string) { o.spans = append(o.spans, s) }

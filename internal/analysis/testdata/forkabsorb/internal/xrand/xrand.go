@@ -1,0 +1,22 @@
+// Mimics the splittable RNG. Rand has no absorb counterpart — containers
+// absorb at a higher level — so only the pre-split contract applies to it.
+package xrand
+
+type Rand struct{ state uint64 }
+
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+func (r *Rand) SplitN(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}

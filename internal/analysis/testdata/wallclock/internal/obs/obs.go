@@ -1,0 +1,13 @@
+// The quarantine: wall-clock reads inside internal/obs are sanctioned (the
+// profiling tier is documented as non-deterministic) and must neither be
+// flagged nor propagate taint to callers.
+package obs
+
+import "time"
+
+type PhaseTimer struct{ nanos int64 }
+
+func (p *PhaseTimer) Start() func() {
+	t0 := time.Now()
+	return func() { p.nanos += int64(time.Since(t0)) }
+}

@@ -1,0 +1,22 @@
+// Seeded wallclock violations: a stray time.Now in the measurement path, a
+// duration computed with time.Since, and a cross-package helper chain that
+// reaches the clock transitively.
+package synergy
+
+import (
+	"time"
+
+	"fixture/wallclock/internal/util"
+)
+
+func measureDirect() float64 {
+	start := time.Now() // direct wall-clock read
+	work()
+	return time.Since(start).Seconds() // and the matching read on exit
+}
+
+func measureViaHelper() int64 {
+	return util.Stamp().UnixNano() // reaches time.Now through two calls
+}
+
+func work() {}

@@ -1,0 +1,15 @@
+// Clean counterparts: simulated time owned by the caller, and wall time
+// routed through the quarantined obs profiling tier.
+package synergy
+
+import "fixture/wallclock/internal/obs"
+
+func measureSimulated(simTimeS float64, costS float64) float64 {
+	return simTimeS + costS // deterministic: time advances by model cost
+}
+
+func measureProfiled(p *obs.PhaseTimer) {
+	stop := p.Start() // obs owns the clock; callers stay deterministic
+	work()
+	stop()
+}

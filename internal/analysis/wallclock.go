@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallClock polices the wall-clock quarantine: every deterministic output of
+// this repository (results files, metrics, traces) must be a pure function
+// of configuration and seeds, so reading the host clock is only legal inside
+// internal/obs — the profiling tier that is explicitly documented as
+// non-deterministic and never feeds a result byte. The pass flags direct
+// calls to time.Now/Since/Until anywhere else, and — through the call graph
+// — calls to in-module helpers that transitively reach one, so wrapping the
+// clock in a utility function does not launder it.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flag time.Now/Since/Until use outside the internal/obs quarantine, including transitively through helpers",
+	Run:  runWallClock,
+}
+
+// wallClockSources are the clock-reading stdlib entry points.
+var wallClockSources = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// obsQuarantined reports whether n is defined in the internal/obs package —
+// the one place wall-clock reads are sanctioned. Quarantined functions
+// neither trigger findings nor propagate taint to their callers, so using
+// the obs profiling API from anywhere stays legal.
+func obsQuarantined(n *FuncNode) bool {
+	if n.Pkg == nil {
+		return false
+	}
+	return n.Pkg.Dir == "internal/obs" || strings.HasSuffix(n.Pkg.ImportPath, "/internal/obs")
+}
+
+func runWallClock(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	isSource := func(n *FuncNode) bool { return wallClockSources[n.FullName()] }
+	quarantine := func(n *FuncNode) bool {
+		// Test files may time themselves; the contract covers shipped code.
+		return obsQuarantined(n) || (n.Body != nil && pass.IsTestFile(n.Body.Pos()))
+	}
+	reached := prog.Reaches(isSource, quarantine)
+
+	for _, n := range prog.Funcs {
+		if n.Pkg == nil || n.Pkg.ImportPath != pass.ImportPath {
+			continue
+		}
+		if quarantine(n) {
+			continue
+		}
+		for _, e := range prog.Callees(n) {
+			if e.Kind == EdgeContains {
+				continue // the literal's own sites are reported directly
+			}
+			switch {
+			case isSource(e.Callee):
+				pass.Reportf(e.Site.Pos(), "wall-clock read (%s) outside the internal/obs quarantine; deterministic paths must use simulated time", e.Callee.FullName())
+			case reached[e.Callee] && !e.Callee.External():
+				pass.Reportf(e.Site.Pos(), "call to %s transitively reaches a wall-clock read outside the internal/obs quarantine", e.Callee.Name)
+			}
+		}
+		// time.Now passed around as a value escapes the call-edge scan.
+		walkShallow(n.Body, func(m ast.Node) {
+			sel, ok := m.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			if obj := useOrDef(pass, sel.Sel); obj != nil {
+				if fn, ok := obj.(interface{ FullName() string }); ok && wallClockSources[fn.FullName()] {
+					if !isCallFun(n, sel) {
+						pass.Reportf(sel.Pos(), "wall-clock function %s captured as a value outside the internal/obs quarantine", fn.FullName())
+					}
+				}
+			}
+		})
+	}
+}
+
+// isCallFun reports whether sel is the Fun of some call edge site of n
+// (already reported above), as opposed to a bare function value.
+func isCallFun(n *FuncNode, sel *ast.SelectorExpr) bool {
+	found := false
+	walkShallow(n.Body, func(m ast.Node) {
+		if call, ok := m.(*ast.CallExpr); ok && unparen(call.Fun) == ast.Expr(sel) {
+			found = true
+		}
+	})
+	return found
+}
