@@ -37,12 +37,13 @@ go test -race ./...
 
 # The resilience layer's retry/requeue concurrency, the deterministic
 # parallel engine, the observability registry (counters bumped from worker
-# goroutines, trace fork/absorb) and the forest trainer's pooled workspaces
-# (shared column copy read by every tree goroutine) are where a scheduling
-# race would hide: run their packages twice under the race detector so
-# goroutine interleavings get a second roll of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml"
-go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml
+# goroutines, trace fork/absorb), the forest trainer's pooled workspaces
+# (shared column copy read by every tree goroutine) and the deadline-aware
+# scheduler (serial core, but its campaign fans out over forked observers)
+# are where a scheduling race would hide: run their packages twice under the
+# race detector so goroutine interleavings get a second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched
 
 # The analysis engine itself must be deterministic and race-free: its tests
 # build call graphs and run every pass concurrently-adjacent code, so run the
@@ -79,6 +80,14 @@ diff "$obsdir/t1.txt" "$obsdir/t2.txt"
 echo "==> results drift guard (reproduce -quick vs results/quick)"
 "$obsdir/reproduce" -quick -out "$obsdir/drift" >/dev/null
 diff -r results/quick "$obsdir/drift"
+
+# Scheduler -j invariance smoke: the scheduling campaign must emit
+# byte-identical reports whether its six cells run serially or fan out.
+echo "==> schedule -j invariance smoke (-j 1 vs -j 0)"
+go build -o "$obsdir/schedule" ./cmd/schedule
+"$obsdir/schedule" -quick -j 1 > "$obsdir/sched1.txt"
+"$obsdir/schedule" -quick -j 0 > "$obsdir/schedN.txt"
+diff "$obsdir/sched1.txt" "$obsdir/schedN.txt"
 
 # Self-lint: the full domain-aware suite over the whole module. The JSON
 # report is archived for inspection; the text run is the hard gate and must

@@ -104,6 +104,121 @@ func resilientRun(t *testing.T, clusterSeed, faultSeed uint64) []byte {
 	return buf.Bytes()
 }
 
+// scheduleRun trains the two small raw models, generates a job stream and
+// executes it with the deadline-aware scheduler on a fault-injected cluster,
+// returning the SLO report plus the full observability export (metrics and
+// trace) as bytes.
+func scheduleRun(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	tb, err := dsenergy.NewTestbed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v100 := tb.Queues()[0]
+	freqs := []int{832, 1087, 1297, 1597}
+
+	train := func(schema dsenergy.Schema, wls []dsenergy.FeaturedWorkload, modelSeed uint64) *dsenergy.Model {
+		ds, err := dsenergy.BuildDataset(v100, schema, wls, dsenergy.BuildConfig{Freqs: freqs, Reps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := dsenergy.Train(ds, dsenergy.RandomForestSpec(), modelSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	var ligenWLs []dsenergy.FeaturedWorkload
+	for _, in := range []dsenergy.LiGenInput{
+		{Ligands: 1024, Atoms: 63, Fragments: 8},
+		{Ligands: 4096, Atoms: 89, Fragments: 8},
+	} {
+		w, err := dsenergy.NewLiGenWorkload(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ligenWLs = append(ligenWLs, dsenergy.FeaturedWorkload{
+			Workload: w,
+			Features: []float64{float64(in.Ligands), float64(in.Atoms), float64(in.Fragments)},
+		})
+	}
+	var cronosWLs []dsenergy.FeaturedWorkload
+	for _, g := range []struct {
+		grid  [3]int
+		steps int
+	}{
+		{[3]int{128, 64, 64}, 8},
+		{[3]int{192, 96, 96}, 10},
+	} {
+		w, err := dsenergy.NewCronosWorkload(g.grid[0], g.grid[1], g.grid[2], g.steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cronosWLs = append(cronosWLs, dsenergy.FeaturedWorkload{
+			Workload: w,
+			Features: []float64{float64(g.grid[0]), float64(g.grid[1]), float64(g.grid[2])},
+		})
+	}
+	models := &dsenergy.SchedModelSet{
+		LiGen:  train(dsenergy.LiGenSchema(), ligenWLs, seed+1),
+		Cronos: train(dsenergy.CronosSchema(), cronosWLs, seed+2),
+	}
+
+	jobs, err := dsenergy.GenerateJobStream(dsenergy.JobStreamConfig{Seed: seed + 3, Jobs: 24}, dsenergy.V100Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dsenergy.NewCluster(seed, dsenergy.V100Spec(), 2, dsenergy.DefaultInterconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := dsenergy.FaultPlan{
+		Seed:          seed + 4,
+		TransientProb: 0.05,
+		Failures:      []dsenergy.DeviceFailure{{Device: 1, AfterSubmits: 12}},
+		Throttles:     []dsenergy.ThermalThrottle{{Device: 0, FromSubmit: 4, ToSubmit: 30, CapMHz: 1005}},
+	}
+	if err := c.SetFaultPlan(plan, dsenergy.DefaultResilienceConfig()); err != nil {
+		t.Fatal(err)
+	}
+	o := dsenergy.NewObserver()
+	c.SetObserver(o)
+	s, err := dsenergy.NewScheduler(c, dsenergy.SchedConfig{Freqs: freqs, Models: models, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteTraceText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSchedulerSeedDeterminism extends the determinism contract to the
+// deadline-aware scheduler: identical seeds must reproduce the same
+// admissions, faults, recoveries and energy accounting — byte-identical SLO
+// report and observability export, even mid-fault-storm.
+func TestSchedulerSeedDeterminism(t *testing.T) {
+	first := scheduleRun(t, 42)
+	second := scheduleRun(t, 42)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("identically seeded scheduler runs diverged\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if other := scheduleRun(t, 43); bytes.Equal(first, other) {
+		t.Fatal("differently seeded scheduler runs produced identical bytes; draws are not seeded")
+	}
+}
+
 // TestFaultInjectionSeedDeterminism pins injected faults into the same
 // determinism contract as measurement noise: identical seeds must reproduce
 // the same faults, the same recoveries and byte-identical results — which is

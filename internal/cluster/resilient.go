@@ -220,7 +220,7 @@ func (c *Cluster) runCronosResilient(nx, ny, nz, steps int) (Result, error) {
 	rc := c.rc
 	aliveIdx := c.alive()
 	if len(aliveIdx) == 0 {
-		return Result{}, fmt.Errorf("cluster: no surviving devices")
+		return Result{}, fmt.Errorf("cluster: %w", ErrNoSurvivingDevices)
 	}
 
 	var res Result
@@ -308,7 +308,7 @@ func (c *Cluster) runCronosResilient(nx, ny, nz, steps int) (Result, error) {
 			c.om.failovers.Add(uint64(len(newlyDead)))
 			aliveIdx = c.alive()
 			if len(aliveIdx) == 0 {
-				return Result{}, fmt.Errorf("cluster: all %d devices failed at step %d", len(c.queues), step)
+				return Result{}, fmt.Errorf("cluster: all %d devices failed at step %d: %w", len(c.queues), step, ErrNoSurvivingDevices)
 			}
 			res.TimeS += stepSlowS
 			res.WastedTimeS += sinceCkptTimeS + stepSlowS
@@ -378,7 +378,7 @@ func (c *Cluster) screenLiGenResilient(in ligen.Input) (Result, error) {
 	rc := c.rc
 	aliveIdx := c.alive()
 	if len(aliveIdx) == 0 {
-		return Result{}, fmt.Errorf("cluster: no surviving devices")
+		return Result{}, fmt.Errorf("cluster: %w", ErrNoSurvivingDevices)
 	}
 	if in.Ligands < len(aliveIdx) {
 		return Result{}, fmt.Errorf("cluster: cannot shard %d ligands across %d devices", in.Ligands, len(aliveIdx))
@@ -407,7 +407,7 @@ func (c *Cluster) screenLiGenResilient(in ligen.Input) (Result, error) {
 
 	for round := 0; len(pending) > 0; round++ {
 		if len(aliveIdx) == 0 {
-			return Result{}, fmt.Errorf("cluster: all %d devices failed with %d shards unscreened", len(c.queues), len(pending))
+			return Result{}, fmt.Errorf("cluster: all %d devices failed with %d shards unscreened: %w", len(c.queues), len(pending), ErrNoSurvivingDevices)
 		}
 		// Deterministic round-robin assignment of pending shards (ascending)
 		// over the surviving devices (ascending).

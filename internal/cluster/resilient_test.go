@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -160,6 +161,38 @@ func TestAllDevicesDeadFailsJob(t *testing.T) {
 	c2 := resilientCluster(t, 2, plan)
 	if _, err := c2.RunCronos(32, 32, 8, 4); err == nil {
 		t.Fatal("expected Cronos error once every device has failed")
+	}
+}
+
+func TestTotalCapacityLossIsTypedError(t *testing.T) {
+	// Both application paths must surface total capacity loss as
+	// ErrNoSurvivingDevices so callers (the scheduler's failover re-planning
+	// above all) can branch on errors.Is instead of string matching — whether
+	// the devices die mid-campaign or were already dead at submission.
+	plan := faults.Plan{
+		Seed: 3,
+		Failures: []faults.DeviceFailure{
+			{Device: 0, AfterSubmits: 2},
+			{Device: 1, AfterSubmits: 2},
+		},
+	}
+	c := resilientCluster(t, 2, plan)
+	_, err := c.ScreenLiGen(ligen.Input{Ligands: 4096, Atoms: 63, Fragments: 8})
+	if !errors.Is(err, ErrNoSurvivingDevices) {
+		t.Errorf("LiGen mid-campaign loss: got %v, want ErrNoSurvivingDevices", err)
+	}
+	// The cluster is now fully dead: the next submission must fail fast with
+	// the same sentinel.
+	if _, err := c.ScreenLiGen(ligen.Input{Ligands: 64, Atoms: 31, Fragments: 4}); !errors.Is(err, ErrNoSurvivingDevices) {
+		t.Errorf("LiGen on dead cluster: got %v, want ErrNoSurvivingDevices", err)
+	}
+	c2 := resilientCluster(t, 2, plan)
+	_, err = c2.RunCronos(32, 32, 8, 4)
+	if !errors.Is(err, ErrNoSurvivingDevices) {
+		t.Errorf("Cronos mid-run loss: got %v, want ErrNoSurvivingDevices", err)
+	}
+	if _, err := c2.RunCronos(32, 32, 8, 4); !errors.Is(err, ErrNoSurvivingDevices) {
+		t.Errorf("Cronos on dead cluster: got %v, want ErrNoSurvivingDevices", err)
 	}
 }
 

@@ -37,6 +37,8 @@ type Config struct {
 	Trees int
 	// LiGenInputs is the dataset input grid for the LiGen models.
 	LiGenInputs []ligen.Input
+	// ScheduleJobs is the scheduling campaign's stream length (0 selects 96).
+	ScheduleJobs int
 	// Jobs bounds the worker goroutines of every generator (0 = GOMAXPROCS,
 	// 1 = fully serial). Results are byte-identical for every value: all
 	// parallelism goes through the deterministic engine in internal/parallel,

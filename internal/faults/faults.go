@@ -80,6 +80,14 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &fe) && fe.Kind == Permanent
 }
 
+// IsClockRejected reports whether err is (or wraps) a rejected clock-set
+// operation — the flaky-vendor-library failure mode, distinct from the
+// device being gone.
+func IsClockRejected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Kind == ClockRejected
+}
+
 // DeviceFailure schedules a permanent failure: the device dies on its
 // (AfterSubmits+1)-th submission. AfterSubmits 0 kills the first submission.
 type DeviceFailure struct {
@@ -135,23 +143,37 @@ func (p Plan) Validate(devices int) error {
 	if p.ClockRejectProb < 0 || p.ClockRejectProb > 1 {
 		return fmt.Errorf("faults: ClockRejectProb %g out of [0,1]", p.ClockRejectProb)
 	}
-	for _, f := range p.Failures {
+	for i, f := range p.Failures {
 		if f.Device < 0 || f.Device >= devices {
 			return fmt.Errorf("faults: failure device %d out of range [0,%d)", f.Device, devices)
 		}
 		if f.AfterSubmits < 0 {
-			return fmt.Errorf("faults: negative AfterSubmits %d", f.AfterSubmits)
+			return fmt.Errorf("faults: failure on device %d scheduled before t=0 (AfterSubmits %d)", f.Device, f.AfterSubmits)
+		}
+		for _, g := range p.Failures[:i] {
+			if g.Device == f.Device {
+				return fmt.Errorf("faults: duplicate failure for device %d (a device dies once)", f.Device)
+			}
 		}
 	}
-	for _, t := range p.Throttles {
+	for i, t := range p.Throttles {
 		if t.Device < 0 || t.Device >= devices {
 			return fmt.Errorf("faults: throttle device %d out of range [0,%d)", t.Device, devices)
 		}
-		if t.FromSubmit < 1 || t.ToSubmit < t.FromSubmit {
+		if t.FromSubmit < 1 || t.ToSubmit <= t.FromSubmit {
 			return fmt.Errorf("faults: bad throttle window [%d,%d)", t.FromSubmit, t.ToSubmit)
 		}
 		if t.CapMHz <= 0 {
 			return fmt.Errorf("faults: non-positive throttle cap %d MHz", t.CapMHz)
+		}
+		// Overlapping windows on one device would leave the effective cap to
+		// an implicit tie-break; demand disjoint windows instead of silently
+		// combining them.
+		for _, u := range p.Throttles[:i] {
+			if t.Device == u.Device && t.FromSubmit < u.ToSubmit && u.FromSubmit < t.ToSubmit {
+				return fmt.Errorf("faults: overlapping throttle windows [%d,%d) and [%d,%d) on device %d",
+					u.FromSubmit, u.ToSubmit, t.FromSubmit, t.ToSubmit, t.Device)
+			}
 		}
 	}
 	for _, c := range p.ClockRejects {

@@ -31,21 +31,56 @@ func TestEmptyPlanInjectsNothing(t *testing.T) {
 }
 
 func TestPlanValidate(t *testing.T) {
-	bad := []Plan{
-		{TransientProb: -0.1},
-		{TransientProb: 1.1},
-		{ClockRejectProb: 2},
-		{Failures: []DeviceFailure{{Device: 5}}},
-		{Failures: []DeviceFailure{{Device: 0, AfterSubmits: -1}}},
-		{Throttles: []Throttle{{Device: 0, FromSubmit: 0, ToSubmit: 3, CapMHz: 800}}},
-		{Throttles: []Throttle{{Device: 0, FromSubmit: 4, ToSubmit: 2, CapMHz: 800}}},
-		{Throttles: []Throttle{{Device: 0, FromSubmit: 1, ToSubmit: 2, CapMHz: 0}}},
-		{ClockRejects: []ClockReject{{Device: -1, OnSet: 1}}},
-		{ClockRejects: []ClockReject{{Device: 0, OnSet: 0}}},
+	bad := []struct {
+		name string
+		plan Plan
+	}{
+		{"negative transient prob", Plan{TransientProb: -0.1}},
+		{"transient prob above 1", Plan{TransientProb: 1.1}},
+		{"clock-reject prob above 1", Plan{ClockRejectProb: 2}},
+		{"failure device out of range", Plan{Failures: []DeviceFailure{{Device: 5}}}},
+		{"failure before t=0", Plan{Failures: []DeviceFailure{{Device: 0, AfterSubmits: -1}}}},
+		{"duplicate failure for one device", Plan{Failures: []DeviceFailure{
+			{Device: 1, AfterSubmits: 2}, {Device: 1, AfterSubmits: 9}}}},
+		{"throttle from-submit below 1", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 0, ToSubmit: 3, CapMHz: 800}}}},
+		{"inverted throttle window", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 4, ToSubmit: 2, CapMHz: 800}}}},
+		{"empty throttle window", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 3, ToSubmit: 3, CapMHz: 800}}}},
+		{"non-positive throttle cap", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 1, ToSubmit: 2, CapMHz: 0}}}},
+		{"overlapping throttle windows", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 2, ToSubmit: 5, CapMHz: 900},
+			{Device: 0, FromSubmit: 4, ToSubmit: 7, CapMHz: 700}}}},
+		{"nested throttle windows", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 1, ToSubmit: 10, CapMHz: 900},
+			{Device: 0, FromSubmit: 3, ToSubmit: 4, CapMHz: 700}}}},
+		{"clock-reject device out of range", Plan{ClockRejects: []ClockReject{{Device: -1, OnSet: 1}}}},
+		{"clock-reject before first set", Plan{ClockRejects: []ClockReject{{Device: 0, OnSet: 0}}}},
 	}
-	for i, p := range bad {
-		if err := p.Validate(2); err == nil {
-			t.Errorf("plan %d validated: %+v", i, p)
+	for _, tc := range bad {
+		if err := tc.plan.Validate(2); err == nil {
+			t.Errorf("%s: plan validated: %+v", tc.name, tc.plan)
+		}
+	}
+	good := []struct {
+		name string
+		plan Plan
+	}{
+		{"empty plan", Plan{}},
+		{"adjacent throttle windows", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 2, ToSubmit: 4, CapMHz: 900},
+			{Device: 0, FromSubmit: 4, ToSubmit: 6, CapMHz: 700}}}},
+		{"same window on different devices", Plan{Throttles: []Throttle{
+			{Device: 0, FromSubmit: 2, ToSubmit: 4, CapMHz: 900},
+			{Device: 1, FromSubmit: 2, ToSubmit: 4, CapMHz: 900}}}},
+		{"one failure per device", Plan{Failures: []DeviceFailure{
+			{Device: 0, AfterSubmits: 3}, {Device: 1, AfterSubmits: 3}}}},
+	}
+	for _, tc := range good {
+		if err := tc.plan.Validate(2); err != nil {
+			t.Errorf("%s: plan rejected: %v", tc.name, err)
 		}
 	}
 	if _, err := NewInjector(Plan{}, 0); err == nil {
@@ -91,14 +126,14 @@ func TestScheduledPermanentFailure(t *testing.T) {
 func TestThrottleWindowCapsClock(t *testing.T) {
 	plan := Plan{Seed: 3, Throttles: []Throttle{
 		{Device: 0, FromSubmit: 2, ToSubmit: 4, CapMHz: 900},
-		{Device: 0, FromSubmit: 3, ToSubmit: 4, CapMHz: 700},
+		{Device: 0, FromSubmit: 4, ToSubmit: 5, CapMHz: 700},
 	}}
 	in, err := NewInjector(plan, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	d := in.Device(0)
-	want := []int{0, 900, 700, 0} // overlapping windows: tightest cap wins
+	want := []int{0, 900, 900, 700, 0} // disjoint adjacent windows
 	for s, cap := range want {
 		dec := d.OnSubmit()
 		if dec.Err != nil {
@@ -127,6 +162,12 @@ func TestScheduledClockReject(t *testing.T) {
 	}
 	if IsTransient(err2) || IsPermanent(err2) {
 		t.Error("clock rejection misclassified")
+	}
+	if !IsClockRejected(err2) {
+		t.Error("IsClockRejected missed a clock rejection")
+	}
+	if !IsClockRejected(fmt.Errorf("wrapped: %w", err2)) {
+		t.Error("IsClockRejected does not unwrap")
 	}
 	if err := d.OnClockSet(); err != nil {
 		t.Errorf("third clock set rejected: %v", err)
@@ -216,7 +257,7 @@ func TestErrorStringsAndKinds(t *testing.T) {
 	if !IsTransient(wrapped) {
 		t.Error("IsTransient does not unwrap")
 	}
-	if IsTransient(nil) || IsPermanent(nil) {
+	if IsTransient(nil) || IsPermanent(nil) || IsClockRejected(nil) {
 		t.Error("nil error classified as fault")
 	}
 }

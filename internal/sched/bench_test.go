@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"testing"
+
+	"dsenergy/internal/faults"
+	"dsenergy/internal/gpusim"
+)
+
+var benchFreq int // defeats dead-code elimination in BenchmarkDecide
+
+// BenchmarkScheduleStream drives the full admit-decide-dispatch-complete loop
+// over a 96-job mixed stream on a fresh fault-free 4-device cluster per
+// iteration, reporting scheduler throughput as admitted jobs per second of
+// wall time (the cluster build is excluded from the timer).
+func BenchmarkScheduleStream(b *testing.B) {
+	models := testModels(b)
+	freqs := testFreqs(b)
+	jobs, err := GenerateStream(StreamConfig{Seed: 40, Jobs: 96}, gpusim.V100Spec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	admitted := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl := testCluster(b, 41, 4, faults.Plan{})
+		b.StartTimer()
+		s, err := New(cl, Config{Freqs: freqs, Models: models})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		admitted += r.Admitted
+	}
+	b.ReportMetric(float64(admitted)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkDecide measures one frequency decision over a realistic candidate
+// curve — the scheduler's per-dispatch hot path.
+func BenchmarkDecide(b *testing.B) {
+	models := testModels(b)
+	freqs := testFreqs(b)
+	jobs, err := GenerateStream(StreamConfig{Seed: 42, Jobs: 1}, gpusim.V100Spec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	points, err := models.curves(jobs[0], freqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	curve := make([]prediction, len(points))
+	for i, p := range points {
+		curve[i] = prediction{FreqMHz: p.FreqMHz, TimeS: p.TimeS, EnergyJ: p.EnergyJ}
+	}
+	cfg := Config{}.withDefaults(gpusim.V100Spec().BaselineFreqMHz())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := decide(cfg, curve, jobs[0].DeadlineS, 0, 0, 0.25)
+		benchFreq = p.FreqMHz
+	}
+}

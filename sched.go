@@ -1,0 +1,62 @@
+package dsenergy
+
+import (
+	"dsenergy/internal/gpusim"
+	"dsenergy/internal/sched"
+)
+
+// Deadline-aware multi-tenant scheduling: the trained per-application models
+// spent online. Jobs arrive with deadlines; the scheduler admits or rejects
+// them against predicted completion, picks each job's device and core
+// frequency from the model's time/energy curve, and survives device loss,
+// thermal throttling and transient faults on the resilient cluster — closing
+// with a per-tenant SLO report.
+
+type (
+	// SchedJob is one unit of tenant work: an application run with an
+	// arrival time, a size and a completion deadline.
+	SchedJob = sched.Job
+	// SchedApp identifies a job's application (LiGen or Cronos).
+	SchedApp = sched.App
+	// JobStreamConfig controls the seeded multi-tenant job stream.
+	JobStreamConfig = sched.StreamConfig
+	// SchedPolicy selects the per-job frequency strategy (the tuner-facade
+	// Policy is the offline counterpart; this one decides online, per job).
+	SchedPolicy = sched.Policy
+	// SchedModelSet bundles the trained per-application raw predictors.
+	SchedModelSet = sched.ModelSet
+	// SchedConfig parameterizes a scheduler run.
+	SchedConfig = sched.Config
+	// Scheduler executes job streams on a resilient cluster.
+	Scheduler = sched.Scheduler
+	// SLOReport is one run's SLO accounting: admissions, misses, lateness
+	// percentiles, robustness event counts and the energy split.
+	SLOReport = sched.Report
+	// TenantSLO is one tenant's slice of the SLO accounting.
+	TenantSLO = sched.TenantSLO
+)
+
+// Scheduler applications and frequency policies.
+const (
+	SchedAppLiGen  = sched.AppLiGen
+	SchedAppCronos = sched.AppCronos
+
+	SchedPolicyModel   = sched.PolicyModel
+	SchedPolicyMaxFreq = sched.PolicyMaxFreq
+	SchedPolicyStatic  = sched.PolicyStatic
+)
+
+// GenerateJobStream draws a deterministic mixed multi-tenant job stream whose
+// deadlines are sized from noiseless execution times on the reference device.
+func GenerateJobStream(cfg JobStreamConfig, ref DeviceSpec) ([]SchedJob, error) {
+	return sched.GenerateStream(cfg, gpusim.Spec(ref))
+}
+
+// NewScheduler builds a deadline-aware scheduler over the cluster (attach any
+// fault plan to the cluster first).
+func NewScheduler(c *Cluster, cfg SchedConfig) (*Scheduler, error) {
+	return sched.New(c, cfg)
+}
+
+// DefaultTenants returns the stream's default campaign owners.
+func DefaultTenants() []string { return sched.DefaultTenants() }

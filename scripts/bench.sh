@@ -6,10 +6,13 @@
 # the wall time of each arm and the parallel speedup, then runs the CART/
 # forest training benchmarks and emits BENCH_ml.json comparing the current
 # pre-sorted engine against the recorded legacy (per-node sort.Slice)
-# baseline, so perf regressions in either engine are diffable across commits:
+# baseline, then runs the deadline-aware scheduler benchmarks and emits
+# BENCH_sched.json (campaign throughput in admitted jobs/sec plus per-dispatch
+# decision latency), so perf regressions in any engine are diffable across
+# commits:
 #
-#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json
-#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json ./scripts/bench.sh
+#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json + ./BENCH_sched.json
+#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json SCHED_OUT=/tmp/s.json ./scripts/bench.sh
 #
 # BENCHTIME controls averaging (default 3x; use 1x for a smoke run).
 set -eu
@@ -18,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${OUT:-BENCH_parallel.json}
 ML_OUT=${ML_OUT:-BENCH_ml.json}
+SCHED_OUT=${SCHED_OUT:-BENCH_sched.json}
 BENCHTIME=${BENCHTIME:-3x}
 
 BENCH_GOMAXPROCS=${GOMAXPROCS:-$(nproc)}
@@ -82,3 +86,32 @@ END {
 }'
 
 echo "wrote $ML_OUT"
+
+# Deadline-aware scheduler: end-to-end campaign throughput (admitted jobs per
+# second of wall time over a 96-job stream on a 4-device cluster) and the
+# per-dispatch frequency-decision latency.
+schedraw=$(go test -bench 'ScheduleStream|Decide' -benchtime "$BENCHTIME" -run '^$' ./internal/sched)
+echo "$schedraw"
+
+echo "$schedraw" | awk -v out="$SCHED_OUT" '
+/^BenchmarkScheduleStream[-\t ]/ {
+    for (i = 1; i < NF; i++) {
+        if ($(i+1) == "ns/op") run_ns = $i
+        if ($(i+1) == "jobs/s") jobs_s = $i
+    }
+}
+/^BenchmarkDecide[-\t ]/ { decide_ns = $3 }
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    if (run_ns == "" || jobs_s == "" || decide_ns == "") {
+        print "bench.sh: missing scheduler benchmark rows in go test output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"schedule_stream\": {\"ns_op\": %s, \"admitted_jobs_per_s\": %s},\n", run_ns, jobs_s >> out
+    printf "  \"decide\": {\"ns_op\": %s}\n", decide_ns >> out
+    printf "}\n" >> out
+}'
+
+echo "wrote $SCHED_OUT"
