@@ -39,11 +39,20 @@ go test -race ./...
 # parallel engine, the observability registry (counters bumped from worker
 # goroutines, trace fork/absorb), the forest trainer's pooled workspaces
 # (shared column copy read by every tree goroutine) and the deadline-aware
-# scheduler (serial core, but its campaign fans out over forked observers)
-# are where a scheduling race would hide: run their packages twice under the
-# race detector so goroutine interleavings get a second roll of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched"
-go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched
+# scheduler (serial core, but its campaign fans out over forked observers),
+# and the MHD solver's slab fan-out (tiled sweeps writing disjoint slabs of
+# shared SoA state) are where a scheduling race would hide: run their
+# packages twice under the race detector so goroutine interleavings get a
+# second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos
+
+# Tiled-solver determinism smoke: the pencil-tiled stencil must produce the
+# frozen golden state hashes and be byte-invariant to the tile width and the
+# worker count — the Cronos equivalent of the engine's Jobs-invariance
+# contract.
+echo "==> cronos tiled determinism smoke"
+go test -race -run 'TestTileWidthInvariance|TestGolden|TestWorkerCountDoesNotChangeResult' -count=2 ./internal/cronos
 
 # The analysis engine itself must be deterministic and race-free: its tests
 # build call graphs and run every pass concurrently-adjacent code, so run the

@@ -70,12 +70,12 @@ func checkMapRangeFloats(pass *Pass, rng *ast.RangeStmt) {
 
 // checkCapturedFloatAcc flags compound float assignments to captured
 // variables inside a concurrent closure. Index-disjoint slot writes
-// (acc[i] += v with i the task index) are the sanctioned reduction shape
-// and stay silent.
-func checkCapturedFloatAcc(pass *Pass, lit *ast.FuncLit, idxParam types.Object) {
+// (acc[i] += v with i derived from the task index or chunk bounds) are the
+// sanctioned reduction shape and stay silent.
+func checkCapturedFloatAcc(pass *Pass, lit *ast.FuncLit, idxParams []types.Object) {
 	var taint taintSet
-	if idxParam != nil {
-		taint = localTaint(pass, lit.Body, []types.Object{idxParam})
+	if len(idxParams) > 0 {
+		taint = localTaint(pass, lit.Body, idxParams)
 	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		asg, ok := n.(*ast.AssignStmt)

@@ -170,15 +170,16 @@ func checkInTaskForks(pass *Pass) {
 }
 
 // checkTaskBody flags fan-out calls on captured, non-task-derived receivers
-// within one task closure. idxParam is the task-index parameter object (nil
-// for plain go statements, which have no sanctioned index).
-func checkTaskBody(pass *Pass, lit *ast.FuncLit, idxParam types.Object) {
+// within one task closure. idxParams holds the engine-supplied index
+// parameter objects (empty for plain go statements, which have no sanctioned
+// index).
+func checkTaskBody(pass *Pass, lit *ast.FuncLit, idxParams []types.Object) {
 	if pass.IsTestFile(lit.Pos()) {
 		return
 	}
 	var taint taintSet
-	if idxParam != nil {
-		taint = localTaint(pass, lit.Body, []types.Object{idxParam})
+	if len(idxParams) > 0 {
+		taint = localTaint(pass, lit.Body, idxParams)
 	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -271,11 +272,17 @@ func markWholeUses(pass *Pass, e ast.Expr, escaped map[types.Object]bool) {
 	})
 }
 
-// poolClosure returns the task closure and index-parameter object when call
-// is parallel.ForEach or parallel.Map with a literal task function.
-func poolClosure(pass *Pass, call *ast.CallExpr) (*ast.FuncLit, types.Object) {
+// poolEntrypoints are the parallel-engine calls that hand a task closure its
+// partitioning keys: ForEach/Map pass one task index, ForEachChunked passes a
+// [lo, hi) index range.
+var poolEntrypoints = map[string]bool{"ForEach": true, "Map": true, "ForEachChunked": true}
+
+// poolClosure returns the task closure and its engine-supplied index
+// parameter objects when call is parallel.ForEach, parallel.Map or
+// parallel.ForEachChunked with a literal task function.
+func poolClosure(pass *Pass, call *ast.CallExpr) (*ast.FuncLit, []types.Object) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "ForEach" && sel.Sel.Name != "Map") {
+	if !ok || !poolEntrypoints[sel.Sel.Name] {
 		return nil, nil
 	}
 	obj, ok := useOrDef(pass, sel.Sel).(*types.Func)
@@ -289,25 +296,31 @@ func poolClosure(pass *Pass, call *ast.CallExpr) (*ast.FuncLit, types.Object) {
 	if !ok {
 		return nil, nil
 	}
-	return lit, taskIndexParam(pass, lit)
+	return lit, taskIndexParams(pass, lit)
 }
 
-// taskIndexParam resolves the final parameter of a pool task closure — the
-// task index the engine passes in — to its object.
-func taskIndexParam(pass *Pass, lit *ast.FuncLit) types.Object {
+// taskIndexParams resolves the partitioning-key parameters of a pool task
+// closure to their objects: every integer parameter is engine-supplied — the
+// task index of ForEach/Map, or the lo/hi range bounds of ForEachChunked
+// (the context parameter, when present, is not an integer and stays out).
+func taskIndexParams(pass *Pass, lit *ast.FuncLit) []types.Object {
 	params := lit.Type.Params
-	if params == nil || len(params.List) == 0 {
+	if params == nil || pass.Info == nil {
 		return nil
 	}
-	last := params.List[len(params.List)-1]
-	if len(last.Names) == 0 {
-		return nil
+	var objs []types.Object
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil || obj.Type() == nil {
+				continue
+			}
+			if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+				objs = append(objs, obj)
+			}
+		}
 	}
-	name := last.Names[len(last.Names)-1]
-	if pass.Info == nil {
-		return nil
-	}
-	return pass.Info.Defs[name]
+	return objs
 }
 
 // ModulePathOf returns the module path of the analyzed tree, derived from

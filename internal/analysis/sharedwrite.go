@@ -7,9 +7,10 @@ import (
 )
 
 // SharedWrite polices the one memory rule of the parallel engine: a task
-// closure handed to parallel.ForEach/parallel.Map may only write shared
-// state through a per-task slot — an element of a captured slice indexed by
-// (an expression derived from) the task index parameter. Any other write to
+// closure handed to parallel.ForEach/parallel.Map/parallel.ForEachChunked
+// may only write shared state through a per-task slot — an element of a
+// captured slice indexed by (an expression derived from) the task index or
+// chunk-bound parameters. Any other write to
 // captured state — a plain assignment, a compound assignment or ++/--, an
 // append, a map store, a write through a captured pointer — is either a
 // data race outright or a schedule-ordered accumulation that breaks the
@@ -28,19 +29,19 @@ func runSharedWrite(pass *Pass) {
 		if !ok {
 			return true
 		}
-		lit, idxParam := poolClosure(pass, call)
+		lit, idxParams := poolClosure(pass, call)
 		if lit == nil || pass.IsTestFile(lit.Pos()) {
 			return true
 		}
-		checkTaskWrites(pass, lit, idxParam)
+		checkTaskWrites(pass, lit, idxParams)
 		return true
 	})
 }
 
-func checkTaskWrites(pass *Pass, lit *ast.FuncLit, idxParam types.Object) {
+func checkTaskWrites(pass *Pass, lit *ast.FuncLit, idxParams []types.Object) {
 	var taint taintSet
-	if idxParam != nil {
-		taint = localTaint(pass, lit.Body, []types.Object{idxParam})
+	if len(idxParams) > 0 {
+		taint = localTaint(pass, lit.Body, idxParams)
 	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch x := n.(type) {

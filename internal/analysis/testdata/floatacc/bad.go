@@ -47,3 +47,14 @@ func sumInPool(xs []float64) (float64, error) {
 	})
 	return sum, err
 }
+
+func sumInChunkedPool(xs []float64) (float64, error) {
+	sum := 0.0
+	err := parallel.ForEachChunked(len(xs), 4, 8, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // chunks fold in completion order
+		}
+		return nil
+	})
+	return sum, err
+}

@@ -55,3 +55,18 @@ func perSlotReduction(xs []float64) (float64, error) {
 	}
 	return total, err
 }
+
+func perChunkReduction(xs []float64) (float64, error) {
+	slots := make([]float64, len(xs))
+	err := parallel.ForEachChunked(len(xs), 4, 8, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			slots[i] += xs[i] * xs[i] // chunk-disjoint slots, folded after the join
+		}
+		return nil
+	})
+	total := 0.0
+	for _, s := range slots {
+		total += s // fold in slice order after the pool finished
+	}
+	return total, err
+}

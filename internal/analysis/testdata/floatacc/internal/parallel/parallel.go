@@ -9,3 +9,16 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	return nil
 }
+
+func ForEachChunked(n, workers, grain int, fn func(lo, hi int) error) error {
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

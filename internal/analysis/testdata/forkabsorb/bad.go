@@ -42,3 +42,13 @@ func forkInsideGoroutine(o *obs.Observer, done chan struct{}) {
 	}()
 	<-done
 }
+
+func splitInsideChunkedTask(r *xrand.Rand, vals []float64) error {
+	return parallel.ForEachChunked(len(vals), 4, 8, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rr := r.Split() // stream derivation order follows the schedule
+			vals[i] = float64(rr.Uint64())
+		}
+		return nil
+	})
+}

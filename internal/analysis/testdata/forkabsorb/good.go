@@ -51,3 +51,14 @@ func taskLocalDerivation(r *xrand.Rand, vals []float64) error {
 		return nil
 	})
 }
+
+func preSplitChunked(r *xrand.Rand, vals []float64) error {
+	rngs := r.SplitN(len(vals)) // split in task order, before the pool
+	return parallel.ForEachChunked(len(vals), 4, 8, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rr := rngs[i].Split() // the chunk's own stream: index derived from lo
+			vals[i] = float64(rr.Uint64())
+		}
+		return nil
+	})
+}

@@ -45,3 +45,10 @@ func sharedPointer(total *float64, xs []float64) error {
 		return nil
 	})
 }
+
+func chunkedSharedSlot(xs []float64) error {
+	return parallel.ForEachChunked(len(xs), 4, 8, func(lo, hi int) error {
+		xs[0] = float64(hi) // every chunk writes slot 0
+		return nil
+	})
+}

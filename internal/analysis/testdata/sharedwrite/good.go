@@ -30,3 +30,14 @@ func taskLocalState(xs []float64) ([]float64, error) {
 		return acc, nil
 	})
 }
+
+func chunkedSlots(xs []float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	err := parallel.ForEachChunked(len(xs), 4, 8, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2 // chunk-disjoint: each chunk owns [lo, hi)
+		}
+		return nil
+	})
+	return out, err
+}

@@ -22,3 +22,16 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+func ForEachChunked(n, workers, grain int, fn func(lo, hi int) error) error {
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

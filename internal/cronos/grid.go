@@ -14,8 +14,12 @@
 // which needs two neighbour cells per direction — the 13-point stencil the
 // paper describes — and a three-stage strong-stability-preserving Runge-Kutta
 // integrator, matching Algorithm 1's three substeps. computeChanges and
-// integrateTime are parallelized over z-slabs with a goroutine pool, and the
-// CFL reduction is a channel-based parallel max-reduction.
+// integrateTime are parallelized over contiguous slabs with a goroutine pool;
+// each slab writes its CFL/flux partial result to its own slot and the slots
+// are folded in slab order after the join, so the max-reduction is
+// deterministic for every worker count. The sweeps themselves run over a
+// structure-of-arrays primitive mirror in cache-blocked pencil tiles (see
+// sweep.go).
 package cronos
 
 import "fmt"

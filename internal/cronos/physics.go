@@ -46,8 +46,9 @@ func toPrim(c cons) prim {
 	return prim{rho: rho, vx: vx, vy: vy, vz: vz, p: p, bx: c.bx, by: c.by, bz: c.bz}
 }
 
-// toCons converts primitive to conserved variables.
-func toCons(w prim) cons {
+// toCons converts primitive to conserved variables. The hot paths pass the
+// state by pointer to avoid copying the 64-byte struct per call.
+func toCons(w *prim) cons {
 	kin := 0.5 * w.rho * (w.vx*w.vx + w.vy*w.vy + w.vz*w.vz)
 	mag := 0.5 * (w.bx*w.bx + w.by*w.by + w.bz*w.bz)
 	return cons{
@@ -61,7 +62,7 @@ func toCons(w prim) cons {
 // fastSpeed returns the fast magnetosonic speed along direction dir (0=x,
 // 1=y, 2=z) for primitive state w — the signal speed entering both the HLL
 // flux and the CFL condition.
-func fastSpeed(w prim, dir int) float64 {
+func fastSpeed(w *prim, dir int) float64 {
 	a2 := Gamma * w.p / w.rho
 	b2 := (w.bx*w.bx + w.by*w.by + w.bz*w.bz) / w.rho
 	var bd float64
@@ -82,6 +83,26 @@ func fastSpeed(w prim, dir int) float64 {
 	return math.Sqrt(0.5 * (s + math.Sqrt(disc)))
 }
 
+// fastSpeed3 returns the fast magnetosonic speed along all three directions
+// at once, sharing the sound-speed and Alfvén terms that fastSpeed recomputes
+// per call. Every per-direction operation keeps fastSpeed's order, so each
+// component is bit-identical to the corresponding fastSpeed(w, dir) —
+// verified by TestFastSpeed3MatchesFastSpeed.
+func fastSpeed3(w *prim) (cfx, cfy, cfz float64) {
+	a2 := Gamma * w.p / w.rho
+	b2 := (w.bx*w.bx + w.by*w.by + w.bz*w.bz) / w.rho
+	s := a2 + b2
+	f := func(bd float64) float64 {
+		bd2 := bd * bd / w.rho
+		disc := s*s - 4*a2*bd2
+		if disc < 0 {
+			disc = 0
+		}
+		return math.Sqrt(0.5 * (s + math.Sqrt(disc)))
+	}
+	return f(w.bx), f(w.by), f(w.bz)
+}
+
 // velAlong returns the velocity component of w along dir.
 func velAlong(w prim, dir int) float64 {
 	switch dir {
@@ -96,54 +117,108 @@ func velAlong(w prim, dir int) float64 {
 
 // physFlux computes the ideal-MHD flux vector of state w along direction dir.
 func physFlux(w prim, dir int) [NVars]float64 {
-	c := toCons(w)
-	ptot := w.p + 0.5*(w.bx*w.bx+w.by*w.by+w.bz*w.bz)
-	v := [3]float64{w.vx, w.vy, w.vz}
-	b := [3]float64{w.bx, w.by, w.bz}
-	m := [3]float64{c.mx, c.my, c.mz}
-	vn, bn := v[dir], b[dir]
-
+	c := toCons(&w)
 	var f [NVars]float64
-	f[IRho] = c.rho * vn
-	for d := 0; d < 3; d++ {
-		f[IMx+d] = m[d]*vn - b[d]*bn
-	}
-	f[IMx+dir] += ptot
-	vDotB := v[0]*b[0] + v[1]*b[1] + v[2]*b[2]
-	f[IEn] = (c.en+ptot)*vn - bn*vDotB
-	for d := 0; d < 3; d++ {
-		f[IBx+d] = b[d]*vn - v[d]*bn
-	}
-	f[IBx+dir] = 0 // normal field is advected by the constrained update
+	physFluxCons(&w, &c, dir, &f)
 	return f
 }
 
+// physFluxCons is physFlux with the conserved view of w supplied by the
+// caller, so hll converts each side exactly once and shares the result with
+// its intermediate-state term. The per-direction cases are the fully
+// unrolled form of the reference's d-loops (`f[IMx+d] = m[d]*vn - b[d]*bn`
+// then `f[IMx+dir] += ptot`, mirrored for the induction terms) with every
+// arithmetic expression kept in the reference order.
+func physFluxCons(w *prim, c *cons, dir int, f *[NVars]float64) {
+	ptot := w.p + 0.5*(w.bx*w.bx+w.by*w.by+w.bz*w.bz)
+	vDotB := w.vx*w.bx + w.vy*w.by + w.vz*w.bz
+
+	switch dir {
+	case 0:
+		vn, bn := w.vx, w.bx
+		f[IRho] = c.rho * vn
+		f[IMx] = c.mx*vn - w.bx*bn + ptot
+		f[IMy] = c.my*vn - w.by*bn
+		f[IMz] = c.mz*vn - w.bz*bn
+		f[IEn] = (c.en+ptot)*vn - bn*vDotB
+		f[IBx] = 0 // normal field is advected by the constrained update
+		f[IBy] = w.by*vn - w.vy*bn
+		f[IBz] = w.bz*vn - w.vz*bn
+	case 1:
+		vn, bn := w.vy, w.by
+		f[IRho] = c.rho * vn
+		f[IMx] = c.mx*vn - w.bx*bn
+		f[IMy] = c.my*vn - w.by*bn + ptot
+		f[IMz] = c.mz*vn - w.bz*bn
+		f[IEn] = (c.en+ptot)*vn - bn*vDotB
+		f[IBx] = w.bx*vn - w.vx*bn
+		f[IBy] = 0
+		f[IBz] = w.bz*vn - w.vz*bn
+	default:
+		vn, bn := w.vz, w.bz
+		f[IRho] = c.rho * vn
+		f[IMx] = c.mx*vn - w.bx*bn
+		f[IMy] = c.my*vn - w.by*bn
+		f[IMz] = c.mz*vn - w.bz*bn + ptot
+		f[IEn] = (c.en+ptot)*vn - bn*vDotB
+		f[IBx] = w.bx*vn - w.vx*bn
+		f[IBy] = w.by*vn - w.vy*bn
+		f[IBz] = 0
+	}
+}
+
 // hll computes the HLL approximate Riemann flux between left and right
-// states along dir.
-func hll(l, r prim, dir int) [NVars]float64 {
+// states along dir. It is the test-facing wrapper over hllInto, which the
+// sweeps call to write each face flux in place.
+func hll(l, r *prim, dir int) [NVars]float64 {
+	var f [NVars]float64
+	hllInto(l, r, dir, &f)
+	return f
+}
+
+// hllInto writes the HLL flux between left and right states along dir into
+// *out. The intermediate state is written out component-by-component in the
+// conserved-variable order of the reference's consArray loop, with the
+// wave-speed product hoisted — multiplication associativity in the
+// reference expression (`sl*sr*(ur[v]-ul[v])`) already grouped it as
+// (sl·sr)·diff, so the hoist is a pure CSE and the bits are unchanged.
+func hllInto(l, r *prim, dir int, out *[NVars]float64) {
 	cl := fastSpeed(l, dir)
 	cr := fastSpeed(r, dir)
-	vl := velAlong(l, dir)
-	vr := velAlong(r, dir)
+	var vl, vr float64
+	switch dir {
+	case 0:
+		vl, vr = l.vx, r.vx
+	case 1:
+		vl, vr = l.vy, r.vy
+	default:
+		vl, vr = l.vz, r.vz
+	}
 	sl := math.Min(vl-cl, vr-cr)
 	sr := math.Max(vl+cl, vr+cr)
 
-	fl := physFlux(l, dir)
+	ucl := toCons(l)
+	physFluxCons(l, &ucl, dir, out)
 	if sl >= 0 {
-		return fl
+		return
 	}
-	fr := physFlux(r, dir)
+	fl := *out
+	ucr := toCons(r)
+	physFluxCons(r, &ucr, dir, out)
 	if sr <= 0 {
-		return fr
+		return
 	}
-	ul := consArray(toCons(l))
-	ur := consArray(toCons(r))
-	var f [NVars]float64
+	fr := *out
 	inv := 1 / (sr - sl)
-	for v := 0; v < NVars; v++ {
-		f[v] = (sr*fl[v] - sl*fr[v] + sl*sr*(ur[v]-ul[v])) * inv
-	}
-	return f
+	ss := sl * sr
+	out[IRho] = (sr*fl[IRho] - sl*fr[IRho] + ss*(ucr.rho-ucl.rho)) * inv
+	out[IMx] = (sr*fl[IMx] - sl*fr[IMx] + ss*(ucr.mx-ucl.mx)) * inv
+	out[IMy] = (sr*fl[IMy] - sl*fr[IMy] + ss*(ucr.my-ucl.my)) * inv
+	out[IMz] = (sr*fl[IMz] - sl*fr[IMz] + ss*(ucr.mz-ucl.mz)) * inv
+	out[IEn] = (sr*fl[IEn] - sl*fr[IEn] + ss*(ucr.en-ucl.en)) * inv
+	out[IBx] = (sr*fl[IBx] - sl*fr[IBx] + ss*(ucr.bx-ucl.bx)) * inv
+	out[IBy] = (sr*fl[IBy] - sl*fr[IBy] + ss*(ucr.by-ucl.by)) * inv
+	out[IBz] = (sr*fl[IBz] - sl*fr[IBz] + ss*(ucr.bz-ucl.bz)) * inv
 }
 
 func consArray(c cons) [NVars]float64 {

@@ -35,7 +35,7 @@ func TestPrimConsRoundTrip(t *testing.T) {
 	rng := xrand.New(1)
 	for n := 0; n < 1000; n++ {
 		w := randomPhysicalPrim(rng)
-		got := toPrim(toCons(w))
+		got := toPrim(toCons(&w))
 		for name, pair := range map[string][2]float64{
 			"rho": {w.rho, got.rho}, "vx": {w.vx, got.vx}, "vy": {w.vy, got.vy},
 			"vz": {w.vz, got.vz}, "p": {w.p, got.p},
@@ -65,7 +65,7 @@ func TestFastSpeedExceedsSoundAndAlfven(t *testing.T) {
 		w := randomPhysicalPrim(rng)
 		a := math.Sqrt(Gamma * w.p / w.rho)
 		for dir := 0; dir < 3; dir++ {
-			cf := fastSpeed(w, dir)
+			cf := fastSpeed(&w, dir)
 			if cf+1e-12 < a {
 				t.Fatalf("fast speed %g below sound speed %g (dir %d, %+v)", cf, a, dir, w)
 			}
@@ -83,7 +83,7 @@ func TestFastSpeedHydroLimit(t *testing.T) {
 	w := prim{rho: 2, p: 3}
 	want := math.Sqrt(Gamma * w.p / w.rho)
 	for dir := 0; dir < 3; dir++ {
-		if got := fastSpeed(w, dir); !almostEqual(got, want, 1e-12) {
+		if got := fastSpeed(&w, dir); !almostEqual(got, want, 1e-12) {
 			t.Errorf("dir %d: fast speed %g, want sound speed %g", dir, got, want)
 		}
 	}
@@ -96,7 +96,7 @@ func TestHLLConsistency(t *testing.T) {
 	for n := 0; n < 500; n++ {
 		w := randomPhysicalPrim(rng)
 		for dir := 0; dir < 3; dir++ {
-			got := hll(w, w, dir)
+			got := hll(&w, &w, dir)
 			want := physFlux(w, dir)
 			for v := 0; v < NVars; v++ {
 				if !almostEqual(got[v], want[v], 1e-10) {
@@ -111,7 +111,7 @@ func TestHLLSupersonicUpwinding(t *testing.T) {
 	// A strongly right-moving flow must take the left flux exactly.
 	l := prim{rho: 1, vx: 50, p: 1, bx: 0.1}
 	r := prim{rho: 2, vx: 50, p: 2, bx: 0.1}
-	got := hll(l, r, 0)
+	got := hll(&l, &r, 0)
 	want := physFlux(l, 0)
 	for v := 0; v < NVars; v++ {
 		if !almostEqual(got[v], want[v], 1e-12) {
@@ -165,6 +165,50 @@ func TestPhysFluxMassComponent(t *testing.T) {
 			}
 			if f[IBx+dir] != 0 {
 				t.Fatalf("normal field flux dir %d nonzero: %g", dir, f[IBx+dir])
+			}
+		}
+	}
+}
+
+func TestFastSpeed3MatchesFastSpeed(t *testing.T) {
+	// fastSpeed3 shares the sound/Alfvén subterms across directions; each
+	// component must still be bit-identical to the per-direction fastSpeed.
+	rng := xrand.New(5)
+	for n := 0; n < 500; n++ {
+		w := randomPhysicalPrim(rng)
+		cfx, cfy, cfz := fastSpeed3(&w)
+		for dir, got := range [3]float64{cfx, cfy, cfz} {
+			if want := fastSpeed(&w, dir); got != want {
+				t.Fatalf("fastSpeed3 dir %d: got %x want %x", dir, got, want)
+			}
+		}
+	}
+}
+
+func TestFaceStatesMatchReconstruct(t *testing.T) {
+	// The slope-shared face-state pair must reproduce the reference per-face
+	// reconstruction bit-for-bit, for both limiters.
+	rng := xrand.New(6)
+	for _, lim := range []func(a, b float64) float64{minmod, vanLeer} {
+		for n := 0; n < 500; n++ {
+			lo := randomPhysicalPrim(rng)
+			mid := randomPhysicalPrim(rng)
+			hi := randomPhysicalPrim(rng)
+			var plus, minus prim
+			faceStates(&lo, &mid, &hi, &plus, &minus, lim)
+			if want := reconstruct(lo, mid, hi, +1, lim); plus != want {
+				t.Fatalf("plus state differs from reconstruct(+1): %+v vs %+v", plus, want)
+			}
+			if want := reconstruct(lo, mid, hi, -1, lim); minus != want {
+				t.Fatalf("minus state differs from reconstruct(-1): %+v vs %+v", minus, want)
+			}
+			var mp, mm prim
+			faceStatesMinmod(&lo, &mid, &hi, &mp, &mm)
+			if want := reconstruct(lo, mid, hi, +1, minmod); mp != want {
+				t.Fatalf("minmod plus state differs from reconstruct(+1)")
+			}
+			if want := reconstruct(lo, mid, hi, -1, minmod); mm != want {
+				t.Fatalf("minmod minus state differs from reconstruct(-1)")
 			}
 		}
 	}

@@ -7,7 +7,7 @@ import "math"
 // steady solution, which the tests use to verify that fluxes cancel.
 func InitUniform(g *Grid, rho, p float64, b [3]float64) {
 	w := prim{rho: rho, p: p, bx: b[0], by: b[1], bz: b[2]}
-	c := toCons(w)
+	c := toCons(&w)
 	fillAll(g, c)
 }
 
@@ -16,8 +16,8 @@ func InitUniform(g *Grid, rho, p float64, b [3]float64) {
 // domain center and a uniform oblique field. It is the workload used for the
 // paper-style energy characterization runs.
 func InitBlastWave(g *Grid, pAmbient, pBlast, r float64) {
-	amb := toCons(prim{rho: 1, p: pAmbient, bx: 1 / math.Sqrt2, by: 1 / math.Sqrt2})
-	hot := toCons(prim{rho: 1, p: pBlast, bx: 1 / math.Sqrt2, by: 1 / math.Sqrt2})
+	amb := toCons(&prim{rho: 1, p: pAmbient, bx: 1 / math.Sqrt2, by: 1 / math.Sqrt2})
+	hot := toCons(&prim{rho: 1, p: pBlast, bx: 1 / math.Sqrt2, by: 1 / math.Sqrt2})
 	cx, cy, cz := 0.5, 0.5*float64(g.NY)*g.DY, 0.5*float64(g.NZ)*g.DZ
 	for k := 0; k < g.NZ; k++ {
 		z := (float64(k) + 0.5) * g.DZ
@@ -58,7 +58,7 @@ func InitAlfvenWave(g *Grid, amplitude float64) {
 					by:  amplitude * b0 * math.Cos(ph),
 					bz:  amplitude * b0 * math.Sin(ph),
 				}
-				setCell(g, i, j, k, toCons(w))
+				setCell(g, i, j, k, toCons(&w))
 			}
 		}
 	}
@@ -77,7 +77,7 @@ func InitShearFlow(g *Grid, mach float64) {
 					vx:  mach * math.Sin(2*math.Pi*y/(float64(g.NY)*g.DY)),
 					bx:  0.2,
 				}
-				setCell(g, i, j, k, toCons(w))
+				setCell(g, i, j, k, toCons(&w))
 			}
 		}
 	}
@@ -90,8 +90,8 @@ func InitShearFlow(g *Grid, mach float64) {
 // γ = 2 the reference solution applies; with the solver's γ = 5/3 the wave
 // pattern is qualitatively identical).
 func InitBrioWu(g *Grid) {
-	left := toCons(prim{rho: 1, p: 1, bx: 0.75, by: 1})
-	right := toCons(prim{rho: 0.125, p: 0.1, bx: 0.75, by: -1})
+	left := toCons(&prim{rho: 1, p: 1, bx: 0.75, by: 1})
+	right := toCons(&prim{rho: 0.125, p: 0.1, bx: 0.75, by: -1})
 	for k := 0; k < g.NZ; k++ {
 		for j := 0; j < g.NY; j++ {
 			for i := 0; i < g.NX; i++ {
@@ -125,7 +125,7 @@ func InitOrszagTang(g *Grid) {
 					bx:  -b0 * math.Sin(2*math.Pi*y/ly),
 					by:  b0 * math.Sin(4*math.Pi*x/lx),
 				}
-				setCell(g, i, j, k, toCons(w))
+				setCell(g, i, j, k, toCons(&w))
 			}
 		}
 	}

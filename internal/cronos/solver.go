@@ -7,6 +7,14 @@ import (
 	"sync"
 )
 
+// defaultTileWidth is the pencil-tile width of the Y and Z sweeps: how many
+// pencils are gathered into one contiguous workspace tile before their fluxes
+// are evaluated and scattered back. Tiles turn the strided column/stack
+// gathers of those sweeps into streaming row-major reads and writes. The
+// value is a cache trade-off, not a correctness parameter — every width
+// produces byte-identical results (locked by TestTileWidthInvariance).
+const defaultTileWidth = 16
+
 // Config configures a solver run.
 type Config struct {
 	NX, NY, NZ int
@@ -19,6 +27,10 @@ type Config struct {
 	InitialDT float64
 	// Limiter selects the MUSCL slope limiter (default minmod).
 	Limiter Limiter
+	// TileWidth is the pencil-tile width of the Y/Z sweeps (0 selects the
+	// default). Any positive value produces byte-identical results; the
+	// width only tunes cache behaviour.
+	TileWidth int
 }
 
 // Solver advances an MHD state following Algorithm 1 of the paper.
@@ -33,9 +45,11 @@ type Solver struct {
 	// FluxEvals counts HLL flux evaluations, for profile cross-checks.
 	FluxEvals int64
 
-	changes *Grid // dU/dt buffer
-	stage   *Grid // RK scratch
-	u0      *Grid // RK stage-0 snapshot
+	changes *Grid  // dU/dt buffer; ghost entries stay zero for its lifetime
+	u0      *Grid  // RK stage-0 snapshot
+	prims   []prim // per-substep primitive mirror of the ghosted grid
+	ws      []*sweepWorkspace
+	parts   []slabPartial
 	lim     func(a, b float64) float64
 }
 
@@ -55,13 +69,26 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.InitialDT == 0 {
 		cfg.InitialDT = 1e-4
 	}
+	if cfg.TileWidth <= 0 {
+		cfg.TileWidth = defaultTileWidth
+	}
+	maxDim := maxInt(cfg.NX, maxInt(cfg.NY, cfg.NZ))
+	ws := make([]*sweepWorkspace, cfg.Workers)
+	for i := range ws {
+		ws[i] = newSweepWorkspace(maxDim, cfg.TileWidth)
+	}
 	return &Solver{
-		Grid:    g,
-		cfg:     cfg,
-		DT:      cfg.InitialDT,
+		Grid: g,
+		cfg:  cfg,
+		DT:   cfg.InitialDT,
+		// changes is allocated zeroed and its ghost entries are never
+		// written again: the X sweep overwrites every interior cell each
+		// substep, so no per-substep clear is needed.
 		changes: g.Clone(),
-		stage:   g.Clone(),
 		u0:      g.Clone(),
+		prims:   make([]prim, len(g.U[0])),
+		ws:      ws,
+		parts:   make([]slabPartial, cfg.Workers),
 		lim:     cfg.Limiter.limiterFunc(),
 	}, nil
 }
@@ -95,214 +122,73 @@ func (s *Solver) parallelFor(n int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// computeChanges evaluates dU/dt into s.changes from the state in g and
-// returns the global CFL value (max over cells of sum_d (|v_d|+c_f,d)/dx_d),
-// reduced in parallel through a channel, per Algorithm 1 lines 8-9.
-func (s *Solver) computeChanges(g *Grid) float64 {
-	for v := 0; v < NVars; v++ {
-		ch := s.changes.U[v]
-		for i := range ch {
-			ch[i] = 0
-		}
-	}
-
-	nWorkers := s.cfg.Workers
-	cflCh := make(chan float64, nWorkers)
-	var fluxes int64
-	var mu sync.Mutex
-
-	// X and Y sweeps parallelize over z-planes; each plane owns its faces.
-	s.parallelForCollect(g.NZ, cflCh, &fluxes, &mu, func(kLo, kHi int) (float64, int64) {
-		return s.sweepXY(g, kLo, kHi)
-	})
-	cflXY := drainMax(cflCh, cap(cflCh))
-
-	// Z sweep parallelizes over y-rows; faces along z stay row-local.
-	cflCh2 := make(chan float64, nWorkers)
-	s.parallelForCollect(g.NY, cflCh2, &fluxes, &mu, func(jLo, jHi int) (float64, int64) {
-		return s.sweepZ(g, jLo, jHi)
-	})
-	// sweepZ contributes no CFL (the x-sweep already reduces the full 3-D
-	// value), so the channel is drained purely to release its senders.
-	drainMax(cflCh2, cap(cflCh2))
-
-	s.FluxEvals += fluxes
-	return cflXY
-}
-
-// parallelForCollect runs body over chunks of [0,n), sending each chunk's CFL
-// contribution to cflCh and accumulating flux counts.
-func (s *Solver) parallelForCollect(n int, cflCh chan float64, fluxes *int64, mu *sync.Mutex, body func(lo, hi int) (float64, int64)) {
-	w := cap(cflCh)
+// forEachSlab statically partitions [0,n) into at most Workers contiguous
+// slabs and runs body(slab, lo, hi) for each, in parallel when more than one
+// slab exists. It returns the slab count so callers can fold the per-slab
+// partial results (s.parts, s.ws) in slab order — the deterministic
+// replacement for the old channel-based reduction.
+func (s *Solver) forEachSlab(n int, body func(slab, lo, hi int)) int {
+	w := s.cfg.Workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		c, fx := body(0, n)
-		cflCh <- c
-		mu.Lock()
-		*fluxes += fx
-		mu.Unlock()
-		for i := 1; i < cap(cflCh); i++ {
-			cflCh <- 0
-		}
-		return
+		body(0, 0, n)
+		return 1
 	}
-	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
-	sent := 0
-	for lo := 0; lo < n; lo += chunk {
+	slabs := (n + chunk - 1) / chunk
+	var wg sync.WaitGroup
+	for slab := 0; slab < slabs; slab++ {
+		lo := slab * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		sent++
-		go func(lo, hi int) {
+		go func(slab, lo, hi int) {
 			defer wg.Done()
-			c, fx := body(lo, hi)
-			cflCh <- c
-			mu.Lock()
-			*fluxes += fx
-			mu.Unlock()
-		}(lo, hi)
+			body(slab, lo, hi)
+		}(slab, lo, hi)
 	}
 	wg.Wait()
-	for i := sent; i < cap(cflCh); i++ {
-		cflCh <- 0
-	}
+	return slabs
 }
 
-func drainMax(ch chan float64, n int) float64 {
-	m := 0.0
-	for i := 0; i < n; i++ {
-		if v := <-ch; v > m {
-			m = v
-		}
-	}
-	return m
-}
+// computeChanges evaluates dU/dt into s.changes from the state in g and
+// returns the global CFL value (max over cells of sum_d (|v_d|+c_f,d)/dx_d),
+// per Algorithm 1 lines 8-9. Each slab writes its CFL/flux-count partial to
+// its own slot in s.parts and the slots are absorbed in slab order after the
+// join, so the reduction is deterministic for every worker count.
+func (s *Solver) computeChanges(g *Grid) float64 {
+	s.refreshPrims(g)
 
-// sweepXY computes x- and y-direction flux differences (and the full 3-D CFL
-// value) for z-planes [kLo,kHi).
-func (s *Solver) sweepXY(g *Grid, kLo, kHi int) (cflMax float64, fluxes int64) {
-	nx, ny := g.NX, g.NY
-	// Pencil buffers: primitive states with two ghosts on each side.
-	wbuf := make([]prim, maxInt(nx, ny)+2*Ghost)
-	fl := make([][NVars]float64, maxInt(nx, ny)+1)
-
-	for k := kLo; k < kHi; k++ {
-		// --- X sweep (also accumulates the CFL reduction input) ---
-		for j := 0; j < ny; j++ {
-			for i := -Ghost; i < nx+Ghost; i++ {
-				wbuf[i+Ghost] = s.cellPrim(g, i, j, k)
-			}
-			for i := 0; i < nx; i++ {
-				w := wbuf[i+Ghost]
-				c := (math.Abs(w.vx)+fastSpeed(w, 0))/g.DX +
-					(math.Abs(w.vy)+fastSpeed(w, 1))/g.DY +
-					(math.Abs(w.vz)+fastSpeed(w, 2))/g.DZ
-				if c > cflMax {
-					cflMax = c
-				}
-			}
-			fluxes += s.pencilFlux(wbuf, fl, nx, 0)
-			inv := 1 / g.DX
-			for i := 0; i < nx; i++ {
-				idx := g.Idx(i, j, k)
-				for v := 0; v < NVars; v++ {
-					s.changes.U[v][idx] -= (fl[i+1][v] - fl[i][v]) * inv
-				}
-			}
-		}
-		// --- Y sweep ---
-		for i := 0; i < nx; i++ {
-			for j := -Ghost; j < ny+Ghost; j++ {
-				wbuf[j+Ghost] = s.cellPrim(g, i, j, k)
-			}
-			fluxes += s.pencilFlux(wbuf, fl, ny, 1)
-			inv := 1 / g.DY
-			for j := 0; j < ny; j++ {
-				idx := g.Idx(i, j, k)
-				for v := 0; v < NVars; v++ {
-					s.changes.U[v][idx] -= (fl[j+1][v] - fl[j][v]) * inv
-				}
-			}
-		}
-	}
-	return cflMax, fluxes
-}
-
-// sweepZ computes z-direction flux differences for y-rows [jLo,jHi).
-func (s *Solver) sweepZ(g *Grid, jLo, jHi int) (cflMax float64, fluxes int64) {
-	nx, nz := g.NX, g.NZ
-	wbuf := make([]prim, nz+2*Ghost)
-	fl := make([][NVars]float64, nz+1)
-	for j := jLo; j < jHi; j++ {
-		for i := 0; i < nx; i++ {
-			for k := -Ghost; k < nz+Ghost; k++ {
-				wbuf[k+Ghost] = s.cellPrim(g, i, j, k)
-			}
-			fluxes += s.pencilFlux(wbuf, fl, nz, 2)
-			inv := 1 / g.DZ
-			for k := 0; k < nz; k++ {
-				idx := g.Idx(i, j, k)
-				for v := 0; v < NVars; v++ {
-					s.changes.U[v][idx] -= (fl[k+1][v] - fl[k][v]) * inv
-				}
-			}
-		}
-	}
-	return 0, fluxes
-}
-
-// cellPrim loads the primitive state of cell (i,j,k) from g.
-func (s *Solver) cellPrim(g *Grid, i, j, k int) prim {
-	idx := g.Idx(i, j, k)
-	return toPrim(cons{
-		rho: g.U[IRho][idx],
-		mx:  g.U[IMx][idx], my: g.U[IMy][idx], mz: g.U[IMz][idx],
-		en: g.U[IEn][idx],
-		bx: g.U[IBx][idx], by: g.U[IBy][idx], bz: g.U[IBz][idx],
+	// X and Y sweeps parallelize over z-slabs; each slab owns its faces.
+	slabs := s.forEachSlab(g.NZ, func(slab, kLo, kHi int) {
+		cfl, fx := s.sweepXY(g, s.ws[slab], kLo, kHi)
+		s.parts[slab] = slabPartial{cfl: cfl, fluxes: fx}
 	})
-}
+	var cflXY float64
+	var fluxes int64
+	for i := 0; i < slabs; i++ {
+		if s.parts[i].cfl > cflXY {
+			cflXY = s.parts[i].cfl
+		}
+		fluxes += s.parts[i].fluxes
+	}
 
-// pencilFlux fills fl[0..n] with MUSCL+HLL face fluxes along dir for a pencil
-// of n interior cells whose primitive states (with two ghosts per side) are
-// in w. Face f sits between cells f-1 and f. Returns the flux-evaluation
-// count.
-func (s *Solver) pencilFlux(w []prim, fl [][NVars]float64, n, dir int) int64 {
-	for f := 0; f <= n; f++ {
-		// Cells are offset by Ghost in w.
-		lm1, l, r, rp1 := w[f], w[f+1], w[f+2], w[f+3] // f-2, f-1, f, f+1
-		left := reconstruct(lm1, l, r, +1, s.lim)
-		right := reconstruct(l, r, rp1, -1, s.lim)
-		fl[f] = hll(left, right, dir)
+	// Z sweep parallelizes over y-slabs; faces along z stay row-local. It
+	// contributes no CFL (the x-sweep already reduces the full 3-D value).
+	slabs = s.forEachSlab(g.NY, func(slab, jLo, jHi int) {
+		fx := s.sweepZ(g, s.ws[slab], jLo, jHi)
+		s.parts[slab] = slabPartial{fluxes: fx}
+	})
+	for i := 0; i < slabs; i++ {
+		fluxes += s.parts[i].fluxes
 	}
-	return int64(n + 1)
-}
 
-// reconstruct extrapolates the primitive state of the middle cell to its
-// face (side=+1 right face, side=-1 left face) with limited slopes.
-func reconstruct(lo, mid, hi prim, side float64, lim func(a, b float64) float64) prim {
-	h := 0.5 * side
-	w := prim{
-		rho: mid.rho + h*lim(mid.rho-lo.rho, hi.rho-mid.rho),
-		vx:  mid.vx + h*lim(mid.vx-lo.vx, hi.vx-mid.vx),
-		vy:  mid.vy + h*lim(mid.vy-lo.vy, hi.vy-mid.vy),
-		vz:  mid.vz + h*lim(mid.vz-lo.vz, hi.vz-mid.vz),
-		p:   mid.p + h*lim(mid.p-lo.p, hi.p-mid.p),
-		bx:  mid.bx + h*lim(mid.bx-lo.bx, hi.bx-mid.bx),
-		by:  mid.by + h*lim(mid.by-lo.by, hi.by-mid.by),
-		bz:  mid.bz + h*lim(mid.bz-lo.bz, hi.bz-mid.bz),
-	}
-	if w.rho < floorRho {
-		w.rho = floorRho
-	}
-	if w.p < floorP {
-		w.p = floorP
-	}
-	return w
+	s.FluxEvals += fluxes
+	return cflXY
 }
 
 // integrateTime applies one SSP-RK3 substep, per Algorithm 1 line 10: the

@@ -140,3 +140,33 @@ func BenchmarkForestPredict(b *testing.B) {
 		_ = m.Predict(probe)
 	}
 }
+
+// BenchmarkLassoFitWide is the active-set acceptance shape: a 2000×16 design
+// where the L1 penalty zeroes most coordinates, so sweeps over the full
+// coordinate range waste work the active set can skip.
+func BenchmarkLassoFitWide(b *testing.B) {
+	X, y := benchDataWide(2000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewLasso(0.01)
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVRFitLarge is the shrinking acceptance shape: n=600 doubles the
+// kernel matrix rows of BenchmarkSVRFit, so bound-clipped coordinates
+// dominate the dual sweeps.
+func BenchmarkSVRFitLarge(b *testing.B) {
+	X, y := benchDataWide(600, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewSVR(10, 0.01, 0)
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

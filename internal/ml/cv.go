@@ -14,7 +14,7 @@ import (
 // caller: evalFold marks the test indices on entry and unmarks them before
 // returning, so a serial caller reuses one allocation across all folds
 // (replacing the per-fold map[int]bool this package used to build) while a
-// parallel caller hands each fold its own slice.
+// parallel caller hands each chunk of folds its own slice.
 func evalFold(spec Spec, X [][]float64, y []float64, test []int, scratch []bool, seed uint64) (float64, error) {
 	stop := spec.Obs.Profile().Phase("ml.cv.fold").Start()
 	defer stop()
@@ -82,9 +82,22 @@ func kfoldMAPE(spec Spec, X [][]float64, y []float64, k int, seed uint64, worker
 			}
 		}
 	} else {
-		folds, err = parallel.Map(context.Background(), k, workers, func(_ context.Context, fold int) (float64, error) {
-			lo, hi := fold*n/k, (fold+1)*n/k
-			return evalFold(spec, X, y, perm[lo:hi], make([]bool, n), seed+uint64(fold))
+		// Each chunk owns folds[lo:hi) and reuses one membership scratch
+		// across its folds, the same amortization the serial path gets across
+		// all k. Fold seeds depend on the fold index alone, so the chunk
+		// decomposition cannot change the bytes.
+		folds = make([]float64, k)
+		err = parallel.ForEachChunked(context.Background(), k, workers, 0, func(_ context.Context, lo, hi int) error {
+			scratch := make([]bool, n)
+			for fold := lo; fold < hi; fold++ {
+				flo, fhi := fold*n/k, (fold+1)*n/k
+				m, ferr := evalFold(spec, X, y, perm[flo:fhi], scratch, seed+uint64(fold))
+				if ferr != nil {
+					return ferr
+				}
+				folds[fold] = m
+			}
+			return nil
 		})
 		if err != nil {
 			return 0, err
@@ -198,22 +211,26 @@ func gridSearch(base Spec, grid map[string][]float64, X [][]float64, y []float64
 	perm := xrand.New(seed).Perm(n)
 	gridPoints := base.Obs.Metrics().Counter("ml_grid_points_total")
 	gridPhase := base.Obs.Profile().Phase("ml.grid.point")
-	points, err := parallel.Map(context.Background(), len(combos), workers, func(_ context.Context, i int) (GridPoint, error) {
-		stop := gridPhase.Start()
-		defer stop()
-		spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}, Obs: base.Obs}
-		for k, v := range base.Params {
-			spec.Params[k] = v
+	points := make([]GridPoint, len(combos))
+	err = parallel.ForEachChunked(context.Background(), len(combos), workers, 0, func(_ context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			stop := gridPhase.Start()
+			spec := Spec{Algorithm: base.Algorithm, Params: map[string]float64{}, Obs: base.Obs}
+			for k, v := range base.Params {
+				spec.Params[k] = v
+			}
+			for k, v := range combos[i] {
+				spec.Params[k] = v
+			}
+			m, err := kfoldMAPE(spec, X, y, k, seed, 1, perm)
+			stop()
+			if err != nil {
+				return err
+			}
+			gridPoints.Inc()
+			points[i] = GridPoint{Params: combos[i], MAPE: m}
 		}
-		for k, v := range combos[i] {
-			spec.Params[k] = v
-		}
-		m, err := kfoldMAPE(spec, X, y, k, seed, 1, perm)
-		if err != nil {
-			return GridPoint{}, err
-		}
-		gridPoints.Inc()
-		return GridPoint{Params: combos[i], MAPE: m}, nil
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,41 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkDispatch measures the engine's per-task overhead: 1<<16 trivial
+// tasks (one slot write each) on two workers, so the cost measured is almost
+// entirely claiming, closure dispatch and cancellation polling rather than
+// task work.
+func BenchmarkDispatch(b *testing.B) {
+	const n = 1 << 16
+	out := make([]float64, n)
+	b.Run("foreach", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := ForEach(context.Background(), n, 2, func(_ context.Context, i int) error {
+				out[i] = float64(i)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/task")
+	})
+	b.Run("foreach-chunked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := ForEachChunked(context.Background(), n, 2, 0, func(_ context.Context, lo, hi int) error {
+				for j := lo; j < hi; j++ {
+					out[j] = float64(j)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/task")
+	})
+}

@@ -115,6 +115,115 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	return ctx.Err()
 }
 
+// ForEachChunked runs fn over contiguous half-open ranges [lo, hi) that tile
+// [0, n), each at most grain indices wide. It is the grain-size counterpart
+// of ForEach for workloads whose per-index cost is small enough that task
+// claiming and closure dispatch dominate, or whose bodies can amortize
+// per-chunk scratch state across the indices of one range. grain <= 0 selects
+// an automatic grain of about n/(4·workers) (at least 1), which keeps roughly
+// four chunks per worker in flight for load balancing while dividing the
+// per-index dispatch cost by the grain.
+//
+// The determinism contract is inherited from ForEach unchanged: fn must
+// derive everything it needs from the indices it is handed, so every chunk
+// decomposition — one chunk, n chunks, or anything between — produces the
+// same bytes as the serial loop. With one worker the chunks run in ascending
+// order on the calling goroutine.
+//
+// Error handling is fail-fast like ForEach, at chunk granularity: the context
+// passed to fn is cancelled as soon as any chunk fails, and the error
+// recorded for the chunk with the lowest start index is returned. As with
+// ForEach, an unlucky schedule may cancel a lower chunk before it runs, so
+// callers needing deterministic state on failure must discard partial
+// results.
+func ForEachChunked(ctx context.Context, n, workers, grain int, fn func(ctx context.Context, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if grain <= 0 {
+		grain = n / (4 * w)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	if w > chunks {
+		w = chunks
+	}
+	if w == 1 {
+		for lo := 0; lo < n; lo += grain {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			if err := fn(ctx, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next  int64 // next unclaimed chunk number
+		mu    sync.Mutex
+		errLo = -1
+		first error
+		wg    sync.WaitGroup
+	)
+	record := func(lo int, err error) {
+		mu.Lock()
+		if errLo < 0 || lo < errLo {
+			errLo, first = lo, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					return
+				}
+				if cctx.Err() != nil {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				if err := fn(cctx, lo, hi); err != nil {
+					record(lo, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
 // Map runs fn over [0, n) like ForEach and collects the results in task
 // order: out[i] is fn's value for index i, wherever and whenever it ran.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {

@@ -514,12 +514,14 @@ func (s *FaultStats) absorb(o FaultStats) {
 func sweep(q *Queue, w Workload, freqs []int, reps, workers int) ([]Measurement, error) {
 	tasks := q.forkSweepTasks(freqs)
 	out := make([]Measurement, len(freqs))
-	err := parallel.ForEach(context.Background(), len(tasks), workers, func(_ context.Context, i int) error {
-		m, err := MeasureAt(tasks[i].clone, w, tasks[i].freq, reps)
-		if err != nil {
-			return err
+	err := parallel.ForEachChunked(context.Background(), len(tasks), workers, 0, func(_ context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			m, err := MeasureAt(tasks[i].clone, w, tasks[i].freq, reps)
+			if err != nil {
+				return err
+			}
+			out[i] = m
 		}
-		out[i] = m
 		return nil
 	})
 	if err != nil {
@@ -574,14 +576,16 @@ func SweepSet(q *Queue, workloads []Workload, freqs []int, reps, workers int) ([
 	for i := range out {
 		out[i] = make([]Measurement, nf)
 	}
-	err := parallel.ForEach(context.Background(), len(workloads)*nf, workers, func(_ context.Context, ti int) error {
-		wi, fi := ti/nf, ti%nf
-		t := sets[wi][fi]
-		m, err := MeasureAt(t.clone, workloads[wi], t.freq, reps)
-		if err != nil {
-			return err
+	err := parallel.ForEachChunked(context.Background(), len(workloads)*nf, workers, 0, func(_ context.Context, lo, hi int) error {
+		for ti := lo; ti < hi; ti++ {
+			wi, fi := ti/nf, ti%nf
+			t := sets[wi][fi]
+			m, err := MeasureAt(t.clone, workloads[wi], t.freq, reps)
+			if err != nil {
+				return err
+			}
+			out[wi][fi] = m
 		}
-		out[wi][fi] = m
 		return nil
 	})
 	if err != nil {

@@ -2,17 +2,19 @@
 # scripts/bench.sh — perf baselines for the deterministic parallel engine and
 # the ML training engine.
 #
-# Runs the serial-vs-parallel benchmarks and emits BENCH_parallel.json with
-# the wall time of each arm and the parallel speedup, then runs the CART/
-# forest training benchmarks and emits BENCH_ml.json comparing the current
-# pre-sorted engine against the recorded legacy (per-node sort.Slice)
-# baseline, then runs the deadline-aware scheduler benchmarks and emits
-# BENCH_sched.json (campaign throughput in admitted jobs/sec plus per-dispatch
-# decision latency), so perf regressions in any engine are diffable across
-# commits:
+# Runs the serial-vs-parallel benchmarks (plus the engine's per-task dispatch
+# overhead, per-index vs chunked) and emits BENCH_parallel.json with the wall
+# time of each arm and the parallel speedup, then runs the CART/forest
+# training and Lasso/SVR solver benchmarks and emits BENCH_ml.json comparing
+# the current engines against their recorded legacy baselines, then runs the
+# deadline-aware scheduler benchmarks and emits BENCH_sched.json (campaign
+# throughput in admitted jobs/sec plus per-dispatch decision latency), then
+# runs the Cronos MHD step benchmarks and emits BENCH_cronos.json comparing
+# the tiled SoA stencil against the frozen pre-tiling baseline, so perf
+# regressions in any engine are diffable across commits:
 #
-#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json + ./BENCH_sched.json
-#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json SCHED_OUT=/tmp/s.json ./scripts/bench.sh
+#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json + ./BENCH_sched.json + ./BENCH_cronos.json
+#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json SCHED_OUT=/tmp/s.json CRONOS_OUT=/tmp/c.json ./scripts/bench.sh
 #
 # BENCHTIME controls averaging (default 3x; use 1x for a smoke run).
 set -eu
@@ -22,6 +24,7 @@ cd "$(dirname "$0")/.."
 OUT=${OUT:-BENCH_parallel.json}
 ML_OUT=${ML_OUT:-BENCH_ml.json}
 SCHED_OUT=${SCHED_OUT:-BENCH_sched.json}
+CRONOS_OUT=${CRONOS_OUT:-BENCH_cronos.json}
 BENCHTIME=${BENCHTIME:-3x}
 
 BENCH_GOMAXPROCS=${GOMAXPROCS:-$(nproc)}
@@ -30,49 +33,74 @@ export BENCH_GOMAXPROCS
 raw=$(go test -bench 'SweepSerialVsParallel|KFoldParallel' -benchtime "$BENCHTIME" -run '^$' .)
 echo "$raw"
 
-echo "$raw" | awk -v out="$OUT" '
+# Per-task dispatch overhead of the engine itself: per-index ForEach vs the
+# chunk-claiming ForEachChunked on 64Ki trivial tasks. The legacy_foreach
+# baseline (per-index dispatch before chunked claiming landed) was measured
+# once at benchtime 3x on the reference runner and stays fixed.
+dispraw=$(go test -bench 'Dispatch' -benchtime "$BENCHTIME" -run '^$' ./internal/parallel)
+echo "$dispraw"
+
+{ echo "$raw"; echo "$dispraw"; } | awk -v out="$OUT" '
 /^BenchmarkSweepSerialVsParallel\/serial/   { sweep_s = $3 }
 /^BenchmarkSweepSerialVsParallel\/parallel/ { sweep_p = $3 }
 /^BenchmarkKFoldParallel\/serial/           { kfold_s = $3 }
 /^BenchmarkKFoldParallel\/parallel/         { kfold_p = $3 }
+/^BenchmarkDispatch\/foreach-chunked/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "ns/task") chunk_ns = $i
+    next
+}
+/^BenchmarkDispatch\/foreach/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "ns/task") each_ns = $i
+}
 /^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
 END {
-    if (sweep_s == "" || sweep_p == "" || kfold_s == "" || kfold_p == "") {
+    if (sweep_s == "" || sweep_p == "" || kfold_s == "" || kfold_p == "" || each_ns == "" || chunk_ns == "") {
         print "bench.sh: missing benchmark rows in go test output" > "/dev/stderr"
         exit 1
     }
+    legacy_each_ns = 20.14
     printf "{\n" > out
     printf "  \"cpu\": \"%s\",\n", cpu >> out
     printf "  \"gomaxprocs\": %d,\n", ENVIRON["BENCH_GOMAXPROCS"] >> out
     printf "  \"sweep\": {\"serial_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.3f},\n", sweep_s, sweep_p, sweep_s / sweep_p >> out
-    printf "  \"kfold\": {\"serial_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.3f}\n", kfold_s, kfold_p, kfold_s / kfold_p >> out
+    printf "  \"kfold\": {\"serial_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.3f},\n", kfold_s, kfold_p, kfold_s / kfold_p >> out
+    printf "  \"dispatch\": {\"foreach_ns_task\": %s, \"chunked_ns_task\": %s, \"legacy_foreach_ns_task\": %.2f, \"chunked_vs_foreach\": %.3f}\n", \
+        each_ns, chunk_ns, legacy_each_ns, each_ns / chunk_ns >> out
     printf "}\n" >> out
 }'
 
 echo "wrote $OUT"
 
 # ML training engine: tree fit, the acceptance-gate forest fit (n=1000, d=16,
-# 100 trees) and block prediction. The legacy_* fields below were measured
-# once from the pre-refactor engine (per-node reflection sort.Slice, pointer
-# nodes, per-node index allocation) at benchtime 3x on the reference runner
-# (Intel Xeon @ 2.10GHz), and stay fixed so every rerun reports the speedup
-# and allocation ratio of the pre-sorted SoA engine against that baseline.
-mlraw=$(go test -bench 'TreeFit|ForestFitLarge|ForestPredictBatch' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/ml)
+# 100 trees), block prediction, and the Lasso/SVR solver fits on their bench
+# shapes. The legacy_* fields below were measured once from the pre-refactor
+# engines — per-node reflection sort.Slice for the trees, residual-update
+# coordinate descent for the Lasso, the [][]float64-kernel eager-sweep dual
+# solver for the SVR — at benchtime 3x on the reference runner (Intel Xeon @
+# 2.10GHz), and stay fixed so every rerun reports the speedup of the current
+# engines against those baselines.
+mlraw=$(go test -bench 'TreeFit|ForestFitLarge|ForestPredictBatch|LassoFit|SVRFit' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/ml)
 echo "$mlraw"
 
 echo "$mlraw" | awk -v out="$ML_OUT" '
 /^BenchmarkTreeFit[-\t ]/            { tree_ns = $3; tree_allocs = $7 }
 /^BenchmarkForestFitLarge[-\t ]/     { forest_ns = $3; forest_allocs = $7 }
 /^BenchmarkForestPredictBatch[-\t ]/ { batch_ns = $3 }
+/^BenchmarkLassoFit[-\t ]/           { lasso_ns = $3 }
+/^BenchmarkLassoFitWide[-\t ]/       { lassow_ns = $3 }
+/^BenchmarkSVRFit[-\t ]/             { svr_ns = $3 }
+/^BenchmarkSVRFitLarge[-\t ]/        { svrl_ns = $3 }
 /^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
 END {
-    if (tree_ns == "" || forest_ns == "" || batch_ns == "") {
+    if (tree_ns == "" || forest_ns == "" || batch_ns == "" || lasso_ns == "" || lassow_ns == "" || svr_ns == "" || svrl_ns == "") {
         print "bench.sh: missing ML benchmark rows in go test output" > "/dev/stderr"
         exit 1
     }
     legacy_tree_ns = 16737282; legacy_tree_allocs = 48940
     legacy_forest_ns = 1545137444; legacy_forest_allocs = 2634758
     legacy_batch_ns = 21879380
+    legacy_lasso_ns = 202811; legacy_lassow_ns = 659569
+    legacy_svr_ns = 14887819; legacy_svrl_ns = 63604049
     printf "{\n" > out
     printf "  \"cpu\": \"%s\",\n", cpu >> out
     printf "  \"legacy_cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz\",\n" >> out
@@ -80,8 +108,16 @@ END {
         tree_ns, tree_allocs, legacy_tree_ns, legacy_tree_allocs, legacy_tree_ns / tree_ns, legacy_tree_allocs / tree_allocs >> out
     printf "  \"forest_fit_large\": {\"ns_op\": %s, \"allocs_op\": %s, \"legacy_ns_op\": %d, \"legacy_allocs_op\": %d, \"speedup\": %.3f, \"alloc_ratio\": %.3f},\n", \
         forest_ns, forest_allocs, legacy_forest_ns, legacy_forest_allocs, legacy_forest_ns / forest_ns, legacy_forest_allocs / forest_allocs >> out
-    printf "  \"forest_predict_batch\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f}\n", \
+    printf "  \"forest_predict_batch\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", \
         batch_ns, legacy_batch_ns, legacy_batch_ns / batch_ns >> out
+    printf "  \"lasso_fit\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", \
+        lasso_ns, legacy_lasso_ns, legacy_lasso_ns / lasso_ns >> out
+    printf "  \"lasso_fit_wide\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", \
+        lassow_ns, legacy_lassow_ns, legacy_lassow_ns / lassow_ns >> out
+    printf "  \"svr_fit\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", \
+        svr_ns, legacy_svr_ns, legacy_svr_ns / svr_ns >> out
+    printf "  \"svr_fit_large\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f}\n", \
+        svrl_ns, legacy_svrl_ns, legacy_svrl_ns / svrl_ns >> out
     printf "}\n" >> out
 }'
 
@@ -115,3 +151,36 @@ END {
 }'
 
 echo "wrote $SCHED_OUT"
+
+# Cronos MHD solver: the per-step cost of the 13-point stencil at the two
+# bracketing problem sizes, serial and slab-parallel. The legacy_* baselines
+# were measured once from the pre-tiling solver (plane-at-a-time sweeps over
+# AoS state) at benchtime 3x on the reference runner and stay fixed, so every
+# rerun reports the speedup of the pencil-tiled SoA engine against them.
+cronraw=$(go test -bench 'SolverStep' -benchtime "$BENCHTIME" -run '^$' ./internal/cronos)
+echo "$cronraw"
+
+echo "$cronraw" | awk -v out="$CRONOS_OUT" '
+/^BenchmarkSolverStepSmallSerial[-\t ]/    { ss_ns = $3 }
+/^BenchmarkSolverStepSmallParallel[-\t ]/  { sp_ns = $3 }
+/^BenchmarkSolverStepMediumSerial[-\t ]/   { ms_ns = $3 }
+/^BenchmarkSolverStepMediumParallel[-\t ]/ { mp_ns = $3 }
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    if (ss_ns == "" || sp_ns == "" || ms_ns == "" || mp_ns == "") {
+        print "bench.sh: missing cronos benchmark rows in go test output" > "/dev/stderr"
+        exit 1
+    }
+    legacy_ss_ns = 95690065; legacy_sp_ns = 104902990
+    legacy_ms_ns = 815726584; legacy_mp_ns = 832985582
+    printf "{\n" > out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"legacy_cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz\",\n" >> out
+    printf "  \"step_small_serial\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", ss_ns, legacy_ss_ns, legacy_ss_ns / ss_ns >> out
+    printf "  \"step_small_parallel\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", sp_ns, legacy_sp_ns, legacy_sp_ns / sp_ns >> out
+    printf "  \"step_medium_serial\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f},\n", ms_ns, legacy_ms_ns, legacy_ms_ns / ms_ns >> out
+    printf "  \"step_medium_parallel\": {\"ns_op\": %s, \"legacy_ns_op\": %d, \"speedup\": %.3f}\n", mp_ns, legacy_mp_ns, legacy_mp_ns / mp_ns >> out
+    printf "}\n" >> out
+}'
+
+echo "wrote $CRONOS_OUT"
