@@ -40,12 +40,13 @@ go test -race ./...
 # goroutines, trace fork/absorb), the forest trainer's pooled workspaces
 # (shared column copy read by every tree goroutine) and the deadline-aware
 # scheduler (serial core, but its campaign fans out over forked observers),
-# and the MHD solver's slab fan-out (tiled sweeps writing disjoint slabs of
-# shared SoA state) are where a scheduling race would hide: run their
-# packages twice under the race detector so goroutine interleavings get a
-# second roll of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos"
-go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos
+# the MHD solver's slab fan-out (tiled sweeps writing disjoint slabs of
+# shared SoA state), and the frequency-advisor service (RCU hot-reload
+# registry read concurrently by sharded event loops) are where a scheduling
+# race would hide: run their packages twice under the race detector so
+# goroutine interleavings get a second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos ./internal/serve"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos ./internal/serve
 
 # Tiled-solver determinism smoke: the pencil-tiled stencil must produce the
 # frozen golden state hashes and be byte-invariant to the tile width and the
@@ -97,6 +98,15 @@ go build -o "$obsdir/schedule" ./cmd/schedule
 "$obsdir/schedule" -quick -j 1 > "$obsdir/sched1.txt"
 "$obsdir/schedule" -quick -j 0 > "$obsdir/schedN.txt"
 diff "$obsdir/sched1.txt" "$obsdir/schedN.txt"
+
+# Serving -j invariance smoke: the four advisor shards must emit
+# byte-identical SLO reports whether they run serially or fan out, even with
+# a hot-reload and a rejected corrupt upload mid-load.
+echo "==> serve -j invariance smoke (-j 1 vs -j 0)"
+go build -o "$obsdir/serve" ./cmd/serve
+"$obsdir/serve" -quick -requests 20000 -j 1 > "$obsdir/serve1.txt"
+"$obsdir/serve" -quick -requests 20000 -j 0 > "$obsdir/serveN.txt"
+diff "$obsdir/serve1.txt" "$obsdir/serveN.txt"
 
 # Self-lint: the full domain-aware suite over the whole module. The JSON
 # report is archived for inspection; the text run is the hard gate and must

@@ -27,7 +27,10 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
-	cliutil.ValidateJobs("characterize", *jobs)
+	if err := cliutil.CheckJobs("characterize", *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "characterize: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)

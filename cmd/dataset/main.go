@@ -27,7 +27,10 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
-	cliutil.ValidateJobs("dataset", *jobs)
+	if err := cliutil.CheckJobs("dataset", *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

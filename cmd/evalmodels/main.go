@@ -29,7 +29,10 @@ func main() {
 	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
-	cliutil.ValidateJobs("evalmodels", *jobs)
+	if err := cliutil.CheckJobs("evalmodels", *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -27,7 +27,10 @@ func main() {
 	jobs := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
-	cliutil.ValidateJobs("schedule", *jobs)
+	if err := cliutil.CheckJobs("schedule", *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *streamJobs < 0 {
 		fmt.Fprintln(os.Stderr, "schedule: -jobs must be >= 0")
 		os.Exit(2)

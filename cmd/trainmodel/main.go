@@ -29,7 +29,10 @@ func main() {
 	tables := flag.Bool("tables", true, "print the feature tables (Tables 1-2)")
 	obsFlags := cliutil.RegisterObs()
 	flag.Parse()
-	cliutil.ValidateJobs("trainmodel", *jobs)
+	if err := cliutil.CheckJobs("trainmodel", *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

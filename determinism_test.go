@@ -290,3 +290,51 @@ func TestParallelCharacterizationMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// serveRun executes a reduced frequency-advisor serving campaign — four
+// advisor shards with a mid-load hot-reload and a rejected corrupt upload —
+// and returns the SLO report plus the full observability export as bytes.
+func serveRun(t *testing.T, seed uint64, workers int) []byte {
+	t.Helper()
+	cfg := dsenergy.QuickExperimentConfig()
+	cfg.Seed = seed
+	cfg.ServeRequests = 4000
+	cfg.Jobs = workers
+	o := dsenergy.NewObserver()
+	cfg.Obs = o
+	r, err := cfg.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteTraceText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServeSeedDeterminism extends the determinism contract to the serving
+// layer: identical seeds must replay the same multi-shard request load —
+// same arrivals, batch closings, cache evictions and hot-reloads — to a
+// byte-identical SLO report and observability export, for every worker
+// count.
+func TestServeSeedDeterminism(t *testing.T) {
+	first := serveRun(t, 42, 1)
+	for _, workers := range []int{0, 3} {
+		if got := serveRun(t, 42, workers); !bytes.Equal(first, got) {
+			t.Fatalf("Jobs=%d serving campaign diverged from serial bytes", workers)
+		}
+	}
+	if second := serveRun(t, 42, 1); !bytes.Equal(first, second) {
+		t.Fatal("identically seeded serving campaigns diverged")
+	}
+	if other := serveRun(t, 43, 1); bytes.Equal(first, other) {
+		t.Fatal("differently seeded serving campaigns produced identical bytes; load draws are not seeded")
+	}
+}

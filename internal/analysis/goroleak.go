@@ -22,7 +22,7 @@ var GoroLeak = &Analyzer{
 }
 
 // goroLeakPackages are the package directories the pass polices.
-var goroLeakPackages = []string{"internal/synergy", "internal/cronos", "internal/ml", "internal/cluster", "internal/faults", "internal/parallel", "internal/obs", "internal/sched"}
+var goroLeakPackages = []string{"internal/synergy", "internal/cronos", "internal/ml", "internal/cluster", "internal/faults", "internal/parallel", "internal/obs", "internal/sched", "internal/serve"}
 
 func runGoroLeak(pass *Pass) {
 	policed := false

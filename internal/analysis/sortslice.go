@@ -20,7 +20,7 @@ var SortSlice = &Analyzer{
 }
 
 // sortSlicePackages are the package directories the pass polices.
-var sortSlicePackages = []string{"internal/ml", "internal/gpusim", "internal/synergy"}
+var sortSlicePackages = []string{"internal/ml", "internal/gpusim", "internal/synergy", "internal/serve"}
 
 func runSortSlice(pass *Pass) {
 	policed := false

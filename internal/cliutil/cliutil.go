@@ -76,12 +76,14 @@ func (f *ObsFlags) Write(o *obs.Observer) error {
 	return nil
 }
 
-// ValidateJobs rejects a negative -j with a usage error: message on stderr,
-// exit status 2 (the same convention flag.Parse uses for malformed flags).
-// Zero and positive values are both valid (0 = GOMAXPROCS).
-func ValidateJobs(prog string, jobs int) {
+// CheckJobs rejects a negative -j with a usage error. It returns the error
+// instead of exiting so long-running callers (the advisor service) and tests
+// can handle it; CLI mains translate it to exit status 2 themselves (the
+// same convention flag.Parse uses for malformed flags). Zero and positive
+// values are both valid (0 = GOMAXPROCS).
+func CheckJobs(prog string, jobs int) error {
 	if jobs < 0 {
-		fmt.Fprintf(os.Stderr, "%s: invalid -j %d: worker count must be >= 0 (0 = GOMAXPROCS, 1 = serial)\n", prog, jobs)
-		os.Exit(2)
+		return fmt.Errorf("%s: invalid -j %d: worker count must be >= 0 (0 = GOMAXPROCS, 1 = serial)", prog, jobs)
 	}
+	return nil
 }

@@ -1,0 +1,25 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckJobs(t *testing.T) {
+	for _, jobs := range []int{0, 1, 7, 1 << 20} {
+		if err := CheckJobs("prog", jobs); err != nil {
+			t.Errorf("CheckJobs(%d) = %v, want nil", jobs, err)
+		}
+	}
+	err := CheckJobs("prog", -1)
+	if err == nil {
+		t.Fatal("CheckJobs(-1) accepted")
+	}
+	// The message carries the program name and the offending value so a
+	// main() can print it verbatim as its usage error.
+	for _, want := range []string{"prog", "-1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

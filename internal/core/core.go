@@ -304,7 +304,56 @@ func (m *Model) PredictCurves(features []float64, freqs []int) []CurvePoint {
 	}
 	times := ml.PredictBatch(m.timeModel, rows)
 	energies := ml.PredictBatch(m.energyModel, rows)
+	return m.deriveCurve(times, energies, freqs)
+}
 
+// FeatureDim is the width of the feature vectors the model was trained on
+// (the frequency column is appended internally and not counted).
+func (m *Model) FeatureDim() int {
+	return len(m.Schema.Features)
+}
+
+// PredictCurvesBatch is the serving-side counterpart of PredictCurves: it
+// evaluates many inputs against one frequency sweep in a single concatenated
+// row block per regressor, and — unlike PredictCurves, which inherits
+// Predict's zero fallback for mis-shaped rows — rejects any input whose
+// width disagrees with the schema. Because batched forest inference is
+// per-row bit-identical to Predict regardless of block composition,
+// out[i] is bit-identical to PredictCurves(inputs[i], freqs).
+func (m *Model) PredictCurvesBatch(inputs [][]float64, freqs []int) ([][]CurvePoint, error) {
+	d := m.FeatureDim()
+	for i, in := range inputs {
+		if len(in) != d {
+			return nil, fmt.Errorf("core: input %d has %d features, schema %s wants %d",
+				i, len(in), m.Schema.App, d)
+		}
+	}
+	stride := len(freqs) + 1
+	rows := make([][]float64, 0, len(inputs)*stride)
+	for _, in := range inputs {
+		rows = append(rows, sampleRow(in, m.BaselineFreqMHz))
+		for _, f := range freqs {
+			rows = append(rows, sampleRow(in, f))
+		}
+	}
+	times, err := ml.CheckedPredictBatch(m.timeModel, rows)
+	if err != nil {
+		return nil, fmt.Errorf("core: time model: %w", err)
+	}
+	energies, err := ml.CheckedPredictBatch(m.energyModel, rows)
+	if err != nil {
+		return nil, fmt.Errorf("core: energy model: %w", err)
+	}
+	out := make([][]CurvePoint, len(inputs))
+	for i := range inputs {
+		out[i] = m.deriveCurve(times[i*stride:(i+1)*stride], energies[i*stride:(i+1)*stride], freqs)
+	}
+	return out, nil
+}
+
+// deriveCurve normalizes one input's predicted (time, energy) block —
+// baseline row first, then one row per sweep frequency — into curve points.
+func (m *Model) deriveCurve(times, energies []float64, freqs []int) []CurvePoint {
 	if m.Normalized {
 		baseSp, baseNe := times[0], energies[0]
 		// Normalized targets sit near 1 by construction; a near-zero or
@@ -328,7 +377,6 @@ func (m *Model) PredictCurves(features []float64, freqs []int) []CurvePoint {
 		}
 		return out
 	}
-
 	baseT, baseE := times[0], energies[0]
 	if baseT <= 0 {
 		baseT = 1
@@ -339,12 +387,11 @@ func (m *Model) PredictCurves(features []float64, freqs []int) []CurvePoint {
 	out := make([]CurvePoint, 0, len(freqs))
 	for i, f := range freqs {
 		t, e := times[i+1], energies[i+1]
-		sp, ne := 0.0, 0.0
+		sp := 0.0
 		if t > 0 {
 			sp = baseT / t
 		}
-		ne = e / baseE
-		out = append(out, CurvePoint{FreqMHz: f, Speedup: sp, NormEnergy: ne, TimeS: t, EnergyJ: e})
+		out = append(out, CurvePoint{FreqMHz: f, Speedup: sp, NormEnergy: e / baseE, TimeS: t, EnergyJ: e})
 	}
 	return out
 }

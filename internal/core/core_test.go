@@ -380,3 +380,57 @@ func TestFeatureKeyInjectiveProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPredictCurvesBatchMatchesPredictCurves(t *testing.T) {
+	q := testQueue(t)
+	ds := cronosDataset(t, q, paperGrids[:3])
+	m, err := Train(ds, ml.Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 20}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := everyNth(q.Spec().FreqsAbove(0.4), 16)
+	inputs := [][]float64{{10, 4, 4}, {20, 8, 8}, {40, 16, 16}, {15, 6, 6}}
+	batch, err := m.PredictCurvesBatch(inputs, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		single := m.PredictCurves(in, freqs)
+		if len(batch[i]) != len(single) {
+			t.Fatalf("input %d: batch has %d points, single %d", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			b, s := batch[i][j], single[j]
+			if b.FreqMHz != s.FreqMHz ||
+				math.Float64bits(b.Speedup) != math.Float64bits(s.Speedup) ||
+				math.Float64bits(b.NormEnergy) != math.Float64bits(s.NormEnergy) ||
+				math.Float64bits(b.TimeS) != math.Float64bits(s.TimeS) ||
+				math.Float64bits(b.EnergyJ) != math.Float64bits(s.EnergyJ) {
+				t.Fatalf("input %d freq %d: batch %+v != single %+v", i, b.FreqMHz, b, s)
+			}
+		}
+	}
+}
+
+func TestPredictCurvesBatchRejectsMisShapedInputs(t *testing.T) {
+	q := testQueue(t)
+	ds := cronosDataset(t, q, paperGrids[:2])
+	m, err := Train(ds, ml.Spec{Algorithm: "forest", Params: map[string]float64{"n_estimators": 10}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FeatureDim() != 3 {
+		t.Fatalf("FeatureDim = %d, want 3", m.FeatureDim())
+	}
+	freqs := []int{q.BaselineFreqMHz()}
+	for _, bad := range [][][]float64{
+		{{10, 4}},             // short
+		{{10, 4, 4, 9}},       // wide
+		{{10, 4, 4}, {10, 4}}, // mixed
+		{nil},                 // empty
+	} {
+		if _, err := m.PredictCurvesBatch(bad, freqs); err == nil {
+			t.Errorf("mis-shaped inputs %v accepted", bad)
+		}
+	}
+}

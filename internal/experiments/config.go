@@ -39,6 +39,10 @@ type Config struct {
 	LiGenInputs []ligen.Input
 	// ScheduleJobs is the scheduling campaign's stream length (0 selects 96).
 	ScheduleJobs int
+	// ServeRequests is the serving campaign's per-shard request budget
+	// (0 selects 500000; four shards make the default a two-million-request
+	// load).
+	ServeRequests int
 	// Jobs bounds the worker goroutines of every generator (0 = GOMAXPROCS,
 	// 1 = fully serial). Results are byte-identical for every value: all
 	// parallelism goes through the deterministic engine in internal/parallel,

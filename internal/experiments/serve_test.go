@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// serveTestConfig is a reduced serving campaign: quick-fidelity models and a
+// 10k-request budget per shard, enough to cross both reload instants.
+func serveTestConfig() Config {
+	cfg := QuickConfig()
+	cfg.ServeRequests = 10000
+	return cfg
+}
+
+func TestRenderServeChecksPass(t *testing.T) {
+	var buf bytes.Buffer
+	failed, err := serveTestConfig().RenderServe(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if failed > 0 {
+		t.Fatalf("%d serving checks failed:\n%s", failed, out)
+	}
+	if !strings.Contains(out, "CHECK ok") || strings.Contains(out, "CHECK FAIL") {
+		t.Fatalf("unexpected check rendering:\n%s", out)
+	}
+	// The campaign must exercise both reload paths and both loop modes.
+	for _, want := range []string{
+		"reloads: published=1 rejected=1",
+		"version v100-a/ligen v1",
+		"version v100-a/ligen v2",
+		"version mi100-a/cronos v1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeCampaignJobsInvariance(t *testing.T) {
+	render := func(jobs int) string {
+		cfg := serveTestConfig()
+		cfg.ServeRequests = 4000
+		cfg.Jobs = jobs
+		var buf bytes.Buffer
+		if _, err := cfg.RenderServe(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	for _, jobs := range []int{0, 5} {
+		if got := render(jobs); got != serial {
+			t.Fatalf("Jobs=%d render diverged from serial:\n--- serial ---\n%s--- got ---\n%s",
+				jobs, serial, got)
+		}
+	}
+}

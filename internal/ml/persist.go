@@ -2,6 +2,7 @@ package ml
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -9,6 +10,15 @@ import (
 // Model persistence: trained regressors serialize to a self-describing JSON
 // envelope, so a model trained from an expensive measurement campaign can be
 // stored next to its dataset and reloaded without refitting.
+
+// ErrCorruptModel is the typed error LoadRegressor wraps every shape-
+// validation failure in: a payload that decodes as JSON but cannot have been
+// written by SaveRegressor over a fitted model (empty coefficient vectors,
+// disagreeing support-vector array lengths, out-of-range tree feature
+// indices, an empty forest). Callers that hot-reload persisted models match
+// it with errors.Is to reject the new version and keep serving the old one,
+// instead of loading a model that panics or predicts garbage at first use.
+var ErrCorruptModel = errors.New("ml: corrupt persisted model")
 
 // envelope is the on-disk wrapper; Kind selects the payload.
 type envelope struct {
@@ -109,11 +119,17 @@ func LoadRegressor(r io.Reader) (Regressor, error) {
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
 			return nil, err
 		}
+		if len(p.Coef) == 0 {
+			return nil, fmt.Errorf("%w: linear payload has no coefficients", ErrCorruptModel)
+		}
 		return &Linear{Coef: p.Coef, Intercept: p.Intercept}, nil
 	case "lasso":
 		var p lassoJSON
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
 			return nil, err
+		}
+		if len(p.Coef) == 0 {
+			return nil, fmt.Errorf("%w: lasso payload has no coefficients", ErrCorruptModel)
 		}
 		m := NewLasso(p.Alpha)
 		m.Coef = p.Coef
@@ -122,6 +138,9 @@ func LoadRegressor(r io.Reader) (Regressor, error) {
 	case "svr":
 		var p svrJSON
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, err
+		}
+		if err := validateSVR(p); err != nil {
 			return nil, err
 		}
 		m := NewSVR(p.C, p.Epsilon, p.Gamma)
@@ -138,6 +157,9 @@ func LoadRegressor(r io.Reader) (Regressor, error) {
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
 			return nil, err
 		}
+		if len(p.Trees) == 0 {
+			return nil, fmt.Errorf("%w: forest payload has no trees", ErrCorruptModel)
+		}
 		f := NewForest(ForestConfig{NumTrees: len(p.Trees)})
 		f.trees = make([]*Tree, len(p.Trees))
 		for i, tj := range p.Trees {
@@ -145,12 +167,46 @@ func LoadRegressor(r io.Reader) (Regressor, error) {
 			if err != nil {
 				return nil, err
 			}
+			if i > 0 && t.d != f.trees[0].d {
+				return nil, fmt.Errorf("%w: forest tree %d trained on %d features, tree 0 on %d",
+					ErrCorruptModel, i, t.d, f.trees[0].d)
+			}
 			f.trees[i] = t
 		}
 		return f, nil
 	default:
 		return nil, fmt.Errorf("ml: unknown persisted model kind %q", env.Kind)
 	}
+}
+
+// validateSVR checks the support-vector arrays agree on their dimensions: n
+// support rows of one common width d, n dual coefficients, and d-wide
+// standardization vectors. Any disagreement would index out of range (or
+// silently mis-scale) at the first Predict.
+func validateSVR(p svrJSON) error {
+	n := len(p.X)
+	if n == 0 {
+		return fmt.Errorf("%w: svr payload has no support vectors", ErrCorruptModel)
+	}
+	d := len(p.X[0])
+	if d == 0 {
+		return fmt.Errorf("%w: svr support vectors are zero-width", ErrCorruptModel)
+	}
+	for i, row := range p.X {
+		if len(row) != d {
+			return fmt.Errorf("%w: svr support vector %d has %d features, want %d",
+				ErrCorruptModel, i, len(row), d)
+		}
+	}
+	if len(p.Beta) != n {
+		return fmt.Errorf("%w: svr has %d support vectors but %d dual coefficients",
+			ErrCorruptModel, n, len(p.Beta))
+	}
+	if len(p.Mean) != d || len(p.Scale) != d {
+		return fmt.Errorf("%w: svr feature width %d disagrees with mean/scale lengths %d/%d",
+			ErrCorruptModel, d, len(p.Mean), len(p.Scale))
+	}
+	return nil
 }
 
 // encodeTree renders the flat preorder node arrays back into the nested
@@ -174,6 +230,9 @@ func encodeNode(t *Tree, i int32) *nodeJSON {
 }
 
 func decodeTree(p treeJSON) (*Tree, error) {
+	if p.D < 0 {
+		return nil, fmt.Errorf("%w: tree has negative feature dimension %d", ErrCorruptModel, p.D)
+	}
 	t := NewTree(p.MaxDepth, p.MinLeaf)
 	t.d = p.D
 	if p.Root == nil {
@@ -181,6 +240,14 @@ func decodeTree(p treeJSON) (*Tree, error) {
 	}
 	if err := decodeNode(t, p.Root, 0); err != nil {
 		return nil, err
+	}
+	// Every split must route through a feature the tree was trained on:
+	// an out-of-range index would read past the end of the prediction row.
+	for _, f := range t.feature {
+		if f >= int32(t.d) {
+			return nil, fmt.Errorf("%w: tree split on feature %d but dimension is %d",
+				ErrCorruptModel, f, t.d)
+		}
 	}
 	return t, nil
 }
@@ -190,14 +257,18 @@ func decodeTree(p treeJSON) (*Tree, error) {
 // produces, so loaded and freshly trained trees are indistinguishable.
 func decodeNode(t *Tree, p *nodeJSON, depth int) error {
 	if depth > 10000 {
-		return fmt.Errorf("ml: persisted tree too deep (corrupt?)")
+		return fmt.Errorf("%w: persisted tree deeper than 10000 levels", ErrCorruptModel)
 	}
 	if p.Leaf {
 		t.pushLeaf(p.Value)
 		return nil
 	}
 	if p.Left == nil || p.Right == nil {
-		return fmt.Errorf("ml: persisted split node missing a child")
+		return fmt.Errorf("%w: persisted split node missing a child", ErrCorruptModel)
+	}
+	if p.Feature < 0 {
+		return fmt.Errorf("%w: persisted split node has negative feature index %d",
+			ErrCorruptModel, p.Feature)
 	}
 	node := t.pushSplit(p.Feature, p.Thresh)
 	t.left[node] = int32(len(t.feature))

@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLoadRegressorRejectsCorruptShapes is the decode-time validation table:
+// every payload below parses as JSON but could not have been written by
+// SaveRegressor over a fitted model, and before validation each one loaded
+// "successfully" only to panic or return garbage at the first Predict. All
+// must now fail with ErrCorruptModel.
+func TestLoadRegressorRejectsCorruptShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+	}{
+		{"linear nil coef", `{"kind":"linear","payload":{"intercept":1.5}}`},
+		{"linear empty coef", `{"kind":"linear","payload":{"coef":[],"intercept":1.5}}`},
+		{"lasso nil coef", `{"kind":"lasso","payload":{"alpha":0.1,"intercept":2}}`},
+		{"lasso empty coef", `{"kind":"lasso","payload":{"alpha":0.1,"coef":[],"intercept":2}}`},
+		{"svr no support vectors",
+			`{"kind":"svr","payload":{"c":1,"epsilon":0.1,"x":[],"beta":[],"mean":[],"scale":[]}}`},
+		{"svr zero-width support vectors",
+			`{"kind":"svr","payload":{"c":1,"x":[[]],"beta":[0.5],"mean":[],"scale":[]}}`},
+		{"svr ragged support vectors",
+			`{"kind":"svr","payload":{"c":1,"x":[[1,2],[3]],"beta":[0.5,0.5],"mean":[0,0],"scale":[1,1]}}`},
+		{"svr beta length mismatch",
+			`{"kind":"svr","payload":{"c":1,"x":[[1,2],[3,4]],"beta":[0.5],"mean":[0,0],"scale":[1,1]}}`},
+		{"svr mean length mismatch",
+			`{"kind":"svr","payload":{"c":1,"x":[[1,2]],"beta":[0.5],"mean":[0],"scale":[1,1]}}`},
+		{"svr scale length mismatch",
+			`{"kind":"svr","payload":{"c":1,"x":[[1,2]],"beta":[0.5],"mean":[0,0],"scale":[1]}}`},
+		{"tree negative dimension", `{"kind":"tree","payload":{"d":-1,"root":{"leaf":true,"value":3}}}`},
+		{"tree split missing child",
+			`{"kind":"tree","payload":{"d":2,"root":{"leaf":false,"feature":0,"thresh":1}}}`},
+		{"tree negative split feature",
+			`{"kind":"tree","payload":{"d":2,"root":{"feature":-3,"thresh":1,` +
+				`"left":{"leaf":true,"value":1},"right":{"leaf":true,"value":2}}}}`},
+		{"tree split feature out of range",
+			`{"kind":"tree","payload":{"d":1,"root":{"feature":4,"thresh":1,` +
+				`"left":{"leaf":true,"value":1},"right":{"leaf":true,"value":2}}}}`},
+		{"forest no trees", `{"kind":"forest","payload":{"trees":[]}}`},
+		{"forest disagreeing tree dimensions",
+			`{"kind":"forest","payload":{"trees":[` +
+				`{"d":2,"root":{"leaf":true,"value":1}},` +
+				`{"d":3,"root":{"leaf":true,"value":1}}]}}`},
+		{"forest corrupt member tree",
+			`{"kind":"forest","payload":{"trees":[{"d":1,"root":{"leaf":false,"feature":0,"thresh":1}}]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := LoadRegressor(strings.NewReader(tc.payload))
+			if err == nil {
+				t.Fatalf("corrupt payload loaded successfully: %#v", r)
+			}
+			if !errors.Is(err, ErrCorruptModel) {
+				t.Fatalf("error is not ErrCorruptModel: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadRegressorTruncatedPayloads covers payloads cut off mid-stream: a
+// JSON decode error, not a shape error, but still a load failure.
+func TestLoadRegressorTruncatedPayloads(t *testing.T) {
+	whole := `{"kind":"lasso","payload":{"alpha":0.1,"coef":[1,2,3],"intercept":2}}`
+	for _, cut := range []int{1, len(whole) / 3, len(whole) - 2} {
+		if _, err := LoadRegressor(strings.NewReader(whole[:cut])); err == nil {
+			t.Errorf("payload truncated at %d bytes loaded successfully", cut)
+		}
+	}
+}
+
+// TestLoadRegressorAcceptsValidShapes pins the other side: validation must
+// not reject anything SaveRegressor writes (the round-trip test covers the
+// fitted path; this covers the minimal hand-written envelopes).
+func TestLoadRegressorAcceptsValidShapes(t *testing.T) {
+	for _, payload := range []string{
+		`{"kind":"linear","payload":{"coef":[1,2],"intercept":1}}`,
+		`{"kind":"lasso","payload":{"alpha":0.1,"coef":[0,1],"intercept":0}}`,
+		`{"kind":"svr","payload":{"c":1,"epsilon":0.1,"x":[[1,2]],"beta":[0.5],"mean":[0,0],"scale":[1,1],"gamma_fitted":0.5}}`,
+		`{"kind":"tree","payload":{"d":1,"root":{"leaf":true,"value":3}}}`,
+		`{"kind":"tree","payload":{"d":0}}`, // unfitted tree round-trips
+		`{"kind":"forest","payload":{"trees":[{"d":2,"root":{"leaf":true,"value":1}}]}}`,
+	} {
+		if _, err := LoadRegressor(strings.NewReader(payload)); err != nil {
+			t.Errorf("valid payload rejected: %v\n%s", err, payload)
+		}
+	}
+}
+
+// TestCheckedPredictBatch locks the serving-side inference contract: every
+// regressor family rejects mis-shaped rows with an error (never Predict's
+// zero fallback), and on well-shaped rows each result is bit-identical to
+// the per-row Predict.
+func TestCheckedPredictBatch(t *testing.T) {
+	X := [][]float64{{1, 2}, {2, 1}, {3, 3}, {4, 1}, {0, 5}, {2, 2}, {5, 0}, {1, 4}}
+	y := []float64{3, 3, 6, 5, 5, 4, 5, 5}
+	fit := func(r Regressor) Regressor {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	models := map[string]Regressor{
+		"linear": fit(NewLinear()),
+		"lasso":  fit(NewLasso(0.01)),
+		"svr":    fit(NewSVR(10, 0.01, 0)),
+		"tree":   fit(NewTree(4, 1)),
+		"forest": fit(NewForest(ForestConfig{NumTrees: 5, Seed: 7})),
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			got, err := CheckedPredictBatch(m, X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range X {
+				if math.Float64bits(got[i]) != math.Float64bits(m.Predict(x)) {
+					t.Errorf("row %d: batch %g != predict %g", i, got[i], m.Predict(x))
+				}
+			}
+			if _, err := CheckedPredictBatch(m, [][]float64{{1}}); err == nil {
+				t.Error("short row accepted")
+			}
+			if _, err := CheckedPredictBatch(m, [][]float64{{1, 2, 3}}); err == nil {
+				t.Error("wide row accepted")
+			}
+		})
+	}
+	for name, m := range map[string]Regressor{
+		"linear": NewLinear(), "lasso": NewLasso(0.1), "svr": NewSVR(1, 0.1, 0),
+		"tree": NewTree(4, 1), "forest": NewForest(ForestConfig{NumTrees: 3}),
+	} {
+		if _, err := CheckedPredictBatch(m, X); err == nil {
+			t.Errorf("%s: unfitted model accepted a batch", name)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRegistryHotReloadRace hammers the registry with concurrent Advise
+// calls while the main goroutine swaps versions underneath them. Run under
+// `go test -race`, this is the proof obligation of the RCU design:
+//
+//   - no torn reads: every response must be byte-for-byte the answer its
+//     claimed version would give single-threaded, so a reader can never see
+//     version N's number stapled to version M's model;
+//   - monotonic visibility: a single reader never observes versions going
+//     backwards across successive calls.
+func TestRegistryHotReloadRace(t *testing.T) {
+	const versions = 6
+	payloads := make([][]byte, versions)
+	for i := range payloads {
+		payloads[i] = testPayload(t, uint64(100+i))
+	}
+	feats := testShapeFeatures[1]
+	deadline := 2 * feats[0] * feats[1] * feats[2] / 4e6
+
+	// Ground truth: replay the publish sequence single-threaded and record
+	// the exact response each version gives to the probe query.
+	expected := make(map[int]Response, versions)
+	scratch := NewRegistry("v100")
+	for _, p := range payloads {
+		ver, err := scratch.Publish("ligen", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := scratch.Advise("ligen", feats, deadline, testFreqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Version != ver {
+			t.Fatalf("single-threaded advise reported version %d after publishing %d", resp.Version, ver)
+		}
+		expected[ver] = resp
+	}
+
+	reg := NewRegistry("v100")
+	if _, err := reg.Publish("ligen", payloads[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const callsPerReader = 400
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastVer := 0
+			for i := 0; i < callsPerReader; i++ {
+				resp, err := reg.Advise("ligen", feats, deadline, testFreqs)
+				if err != nil {
+					errc <- err
+					return
+				}
+				want, ok := expected[resp.Version]
+				if !ok {
+					errc <- fmt.Errorf("response claims unpublished version %d", resp.Version)
+					return
+				}
+				if resp != want {
+					errc <- fmt.Errorf("torn read at version %d: got %+v, want %+v", resp.Version, resp, want)
+					return
+				}
+				if resp.Version < lastVer {
+					errc <- fmt.Errorf("version went backwards: %d after %d", resp.Version, lastVer)
+					return
+				}
+				lastVer = resp.Version
+			}
+			errc <- nil
+		}()
+	}
+
+	// Swap versions while the readers run, yielding between publishes so the
+	// swaps interleave with in-flight Advise calls.
+	for _, p := range payloads[1:] {
+		if _, err := reg.Publish("ligen", p); err != nil {
+			t.Fatal(err)
+		}
+		runtime.Gosched()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	// After the dust settles every reader must see the final version.
+	final, err := reg.Advise("ligen", feats, deadline, testFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Version != versions {
+		t.Errorf("final version = %d, want %d", final.Version, versions)
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// VersionCount attributes completed responses to one published model
+// version — the audit trail that every answer came from exactly one version.
+type VersionCount struct {
+	App       string
+	Device    string
+	Version   int
+	Responses int
+}
+
+// Report is the SLO accounting of one service campaign. Every field is
+// deterministic for a fixed Config: shards are merged in shard order and
+// latencies are sorted before the percentiles are taken.
+type Report struct {
+	Shards int
+
+	// Admission.
+	Submitted        int
+	Completed        int
+	Rejected         int
+	RejectedNoModel  int
+	RejectedBadShape int
+
+	// Request path.
+	CacheHits int
+	Coalesced int
+	Misses    int
+
+	// Batching.
+	Batches          int
+	MaxBatchLen      int
+	MeanBatchFlights float64
+
+	// Hot-reload.
+	Reloads         int
+	ReloadsRejected int
+
+	// Advisory outcomes.
+	Escalations    int
+	OnPareto       int
+	PredEnergyJ    float64
+	PredEnergyMaxJ float64
+
+	// Latency and throughput.
+	P50LatencyS   float64
+	P99LatencyS   float64
+	MaxLatencyS   float64
+	MakespanS     float64
+	ThroughputRPS float64
+
+	PerVersion []VersionCount
+}
+
+// CacheHitRate is the fraction of answered requests served from the LRU.
+func (r *Report) CacheHitRate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Completed)
+}
+
+// PredEnergySavedFrac is the predicted energy saving of the recommendations
+// against always running at the fastest candidate clock.
+func (r *Report) PredEnergySavedFrac() float64 {
+	if r.PredEnergyMaxJ <= 0 {
+		return 0
+	}
+	return 1 - r.PredEnergyJ/r.PredEnergyMaxJ
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// mergeResults folds the per-shard accounting, in shard order, into one
+// report.
+func mergeResults(results []*shardResult) *Report {
+	r := &Report{Shards: len(results)}
+	var lats []float64
+	pv := map[versionKey]int{}
+	for _, sr := range results {
+		r.Submitted += sr.submitted
+		r.Completed += sr.completed
+		r.Rejected += sr.rejected
+		r.RejectedNoModel += sr.rejectedNoModel
+		r.RejectedBadShape += sr.rejectedBadShape
+		r.CacheHits += sr.cacheHits
+		r.Coalesced += sr.coalesced
+		r.Misses += sr.misses
+		r.Batches += sr.batches
+		if sr.maxBatchLen > r.MaxBatchLen {
+			r.MaxBatchLen = sr.maxBatchLen
+		}
+		r.Reloads += sr.reloads
+		r.ReloadsRejected += sr.reloadsRejected
+		r.Escalations += sr.escalations
+		r.OnPareto += sr.onPareto
+		r.PredEnergyJ += sr.predEnergyJ
+		r.PredEnergyMaxJ += sr.predEnergyMaxJ
+		if sr.lastDoneS > r.MakespanS {
+			r.MakespanS = sr.lastDoneS
+		}
+		lats = append(lats, sr.latencies...)
+		for k, n := range sr.perVersion {
+			pv[k] += n
+		}
+	}
+	var batchedFlights int
+	for _, sr := range results {
+		batchedFlights += sr.batchedFlights
+	}
+	if r.Batches > 0 {
+		r.MeanBatchFlights = float64(batchedFlights) / float64(r.Batches)
+	}
+	sort.Float64s(lats)
+	r.P50LatencyS = percentile(lats, 0.50)
+	r.P99LatencyS = percentile(lats, 0.99)
+	if n := len(lats); n > 0 {
+		r.MaxLatencyS = lats[n-1]
+	}
+	if r.MakespanS > 0 {
+		r.ThroughputRPS = float64(r.Completed) / r.MakespanS
+	}
+	r.PerVersion = make([]VersionCount, 0, len(pv))
+	for k := range pv {
+		r.PerVersion = append(r.PerVersion, VersionCount{
+			App: k.App, Device: k.Device, Version: k.Version, Responses: pv[k],
+		})
+	}
+	slices.SortFunc(r.PerVersion, func(a, b VersionCount) int {
+		if c := strings.Compare(a.Device, b.Device); c != 0 {
+			return c
+		}
+		if c := strings.Compare(a.App, b.App); c != 0 {
+			return c
+		}
+		return a.Version - b.Version
+	})
+	return r
+}
+
+// WriteText renders the report deterministically.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("shards=%d\n", r.Shards); err != nil {
+		return err
+	}
+	if err := p("requests: submitted=%d completed=%d rejected=%d (no-model=%d bad-shape=%d)\n",
+		r.Submitted, r.Completed, r.Rejected, r.RejectedNoModel, r.RejectedBadShape); err != nil {
+		return err
+	}
+	if err := p("path: cache-hits=%d coalesced=%d misses=%d hit-rate=%.2f%%\n",
+		r.CacheHits, r.Coalesced, r.Misses, 100*r.CacheHitRate()); err != nil {
+		return err
+	}
+	if err := p("batching: batches=%d mean-flights=%.2f max-flights=%d\n",
+		r.Batches, r.MeanBatchFlights, r.MaxBatchLen); err != nil {
+		return err
+	}
+	if err := p("reloads: published=%d rejected=%d\n", r.Reloads, r.ReloadsRejected); err != nil {
+		return err
+	}
+	if err := p("advice: on-pareto=%d escalated=%d pred-energy=%.1fJ vs-maxfreq=%.1fJ saved=%.2f%%\n",
+		r.OnPareto, r.Escalations, r.PredEnergyJ, r.PredEnergyMaxJ,
+		100*r.PredEnergySavedFrac()); err != nil {
+		return err
+	}
+	if err := p("latency: p50=%.6fs p99=%.6fs max=%.6fs makespan=%.3fs throughput=%.0frps\n",
+		r.P50LatencyS, r.P99LatencyS, r.MaxLatencyS, r.MakespanS, r.ThroughputRPS); err != nil {
+		return err
+	}
+	for _, v := range r.PerVersion {
+		if err := p("version %s/%s v%d responses=%d\n",
+			v.Device, v.App, v.Version, v.Responses); err != nil {
+			return err
+		}
+	}
+	return nil
+}

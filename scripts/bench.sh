@@ -10,11 +10,13 @@
 # deadline-aware scheduler benchmarks and emits BENCH_sched.json (campaign
 # throughput in admitted jobs/sec plus per-dispatch decision latency), then
 # runs the Cronos MHD step benchmarks and emits BENCH_cronos.json comparing
-# the tiled SoA stencil against the frozen pre-tiling baseline, so perf
-# regressions in any engine are diffable across commits:
+# the tiled SoA stencil against the frozen pre-tiling baseline, then runs the
+# frequency-advisor serving benchmarks and emits BENCH_serve.json (campaign
+# throughput in answered requests/sec plus per-query cache-miss latency), so
+# perf regressions in any engine are diffable across commits:
 #
-#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json + ./BENCH_sched.json + ./BENCH_cronos.json
-#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json SCHED_OUT=/tmp/s.json CRONOS_OUT=/tmp/c.json ./scripts/bench.sh
+#   ./scripts/bench.sh            # writes ./BENCH_parallel.json + ./BENCH_ml.json + ./BENCH_sched.json + ./BENCH_cronos.json + ./BENCH_serve.json
+#   OUT=/tmp/b.json ML_OUT=/tmp/ml.json SCHED_OUT=/tmp/s.json CRONOS_OUT=/tmp/c.json SERVE_OUT=/tmp/v.json ./scripts/bench.sh
 #
 # BENCHTIME controls averaging (default 3x; use 1x for a smoke run).
 set -eu
@@ -25,6 +27,7 @@ OUT=${OUT:-BENCH_parallel.json}
 ML_OUT=${ML_OUT:-BENCH_ml.json}
 SCHED_OUT=${SCHED_OUT:-BENCH_sched.json}
 CRONOS_OUT=${CRONOS_OUT:-BENCH_cronos.json}
+SERVE_OUT=${SERVE_OUT:-BENCH_serve.json}
 BENCHTIME=${BENCHTIME:-3x}
 
 BENCH_GOMAXPROCS=${GOMAXPROCS:-$(nproc)}
@@ -184,3 +187,33 @@ END {
 }'
 
 echo "wrote $CRONOS_OUT"
+
+# Frequency-advisor service: end-to-end campaign throughput (answered
+# requests per second of wall time over the two-shard test load with a
+# hot-reload mid-run) and the per-query latency of an uncached advisory
+# lookup (registry lookup + batched curve prediction + deadline decision).
+serveraw=$(go test -bench 'ServeCampaign|Advise' -benchtime "$BENCHTIME" -run '^$' ./internal/serve)
+echo "$serveraw"
+
+echo "$serveraw" | awk -v out="$SERVE_OUT" '
+/^BenchmarkServeCampaign[-\t ]/ {
+    for (i = 1; i < NF; i++) {
+        if ($(i+1) == "ns/op") run_ns = $i
+        if ($(i+1) == "req/s") req_s = $i
+    }
+}
+/^BenchmarkAdvise[-\t ]/ { advise_ns = $3 }
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    if (run_ns == "" || req_s == "" || advise_ns == "") {
+        print "bench.sh: missing serving benchmark rows in go test output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"serve_campaign\": {\"ns_op\": %s, \"answered_req_per_s\": %s},\n", run_ns, req_s >> out
+    printf "  \"advise\": {\"ns_op\": %s}\n", advise_ns >> out
+    printf "}\n" >> out
+}'
+
+echo "wrote $SERVE_OUT"

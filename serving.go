@@ -1,0 +1,39 @@
+package dsenergy
+
+import "dsenergy/internal/serve"
+
+// Frequency-advisor serving: the trained models deployed behind a
+// long-running advisory service. A versioned registry hot-reloads persisted
+// models without dropping queries, duplicate in-flight requests coalesce
+// into batched inference, and an LRU admission tier absorbs repeat queries —
+// all on simulated time, so a multi-million-request load replays
+// byte-identically.
+
+type (
+	// ServeRegistry is the versioned (app, device) model registry with
+	// RCU-style atomic hot-reload.
+	ServeRegistry = serve.Registry
+	// ServeEntry is one immutable published model version.
+	ServeEntry = serve.Entry
+	// ServeResponse is one advisory answer: the recommended clock and its
+	// predicted time/energy, attributed to the model version that made it.
+	ServeResponse = serve.Response
+	// ServeConfig configures a serving campaign.
+	ServeConfig = serve.Config
+	// ServeShardConfig configures one per-device advisor shard.
+	ServeShardConfig = serve.ShardConfig
+	// ServeShape is one element of a shard's request universe.
+	ServeShape = serve.Shape
+	// ServeReload schedules a model publish at an instant of simulated time.
+	ServeReload = serve.Reload
+	// ServeLoad configures a shard's synthetic load generator.
+	ServeLoad = serve.Load
+	// ServeReport is the SLO accounting of one serving campaign.
+	ServeReport = serve.Report
+)
+
+// NewServeRegistry returns an empty model registry for one device.
+func NewServeRegistry(device string) *ServeRegistry { return serve.NewRegistry(device) }
+
+// RunServe executes a serving campaign and returns its SLO report.
+func RunServe(cfg ServeConfig) (*ServeReport, error) { return serve.Run(cfg) }
