@@ -41,12 +41,14 @@ go test -race ./...
 # (shared column copy read by every tree goroutine) and the deadline-aware
 # scheduler (serial core, but its campaign fans out over forked observers),
 # the MHD solver's slab fan-out (tiled sweeps writing disjoint slabs of
-# shared SoA state), and the frequency-advisor service (RCU hot-reload
-# registry read concurrently by sharded event loops) are where a scheduling
-# race would hide: run their packages twice under the race detector so
-# goroutine interleavings get a second roll of the dice.
-echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos ./internal/serve"
-go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos ./internal/serve
+# shared SoA state), the frequency-advisor service (RCU hot-reload registry
+# read concurrently by sharded event loops), the gpusim analytic cache (RCU
+# snapshots compiled under a mutex, read lock-free by forked devices) and the
+# synergy sweep engine that hammers it from parallel workers are where a
+# scheduling race would hide: run their packages twice under the race
+# detector so goroutine interleavings get a second roll of the dice.
+echo "==> go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos ./internal/serve ./internal/gpusim ./internal/synergy"
+go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel ./internal/obs ./internal/ml ./internal/sched ./internal/cronos ./internal/serve ./internal/gpusim ./internal/synergy
 
 # Tiled-solver determinism smoke: the pencil-tiled stencil must produce the
 # frozen golden state hashes and be byte-invariant to the tile width and the
@@ -54,6 +56,15 @@ go test -race -count=2 ./internal/faults ./internal/cluster ./internal/parallel 
 # contract.
 echo "==> cronos tiled determinism smoke"
 go test -race -run 'TestTileWidthInvariance|TestGolden|TestWorkerCountDoesNotChangeResult' -count=2 ./internal/cronos
+
+# Analytic-cache transparency smoke: the compiled-profile cache is a pure
+# evaluation shortcut, so sweeping with it attached and detached must agree
+# on every observable byte (measurements, event logs, energy counters),
+# serially and under ParallelSweep; the golden suite pins the compiled
+# evaluator bit-for-bit against the pre-rewrite engine's recorded outputs.
+echo "==> gpusim cache-on vs cache-off byte-identity smoke"
+go test -race -run 'TestSweepCacheOnOffByteIdentical' -count=2 ./internal/synergy
+go test -run 'TestGoldenAnalytic' -count=1 ./internal/gpusim
 
 # The analysis engine itself must be deterministic and race-free: its tests
 # build call graphs and run every pass concurrently-adjacent code, so run the

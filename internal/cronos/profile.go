@@ -134,6 +134,23 @@ func (w Workload) AnalyticOn(dev *gpusim.Device, mhz int) (timeS, energyJ float6
 	return timeS, energyJ
 }
 
+// AnalyticCurveOn evaluates the noiseless model at every frequency in freqs
+// in one batch, amortizing one compiled-profile lookup per kernel over the
+// whole list. timesS[i] and energiesJ[i] equal AnalyticOn(dev, freqs[i]) bit
+// for bit: each frequency accumulates kernels in Profiles() order, exactly
+// like the single-frequency path.
+func (w Workload) AnalyticCurveOn(dev *gpusim.Device, freqs []int) (timesS, energiesJ []float64) {
+	timesS = make([]float64, len(freqs))
+	energiesJ = make([]float64, len(freqs))
+	for _, p := range w.Profiles() {
+		for i, b := range dev.AnalyzeCurve(p, freqs) {
+			timesS[i] += b.TimeS
+			energiesJ[i] += b.EnergyJ
+		}
+	}
+	return timesS, energiesJ
+}
+
 // ExpectedFluxEvalsPerStep returns the HLL flux evaluations the reference
 // solver performs per full timestep (three substeps × three directional
 // sweeps with one extra face per pencil), used to cross-check the analytic

@@ -47,11 +47,11 @@ func (c Config) AblationRoofline() (AblationRooflineResult, error) {
 		}
 		dev.SetObserver(c.Obs)
 		def := spec.BaselineFreqMHz()
-		tDef, eDef := w.AnalyticOn(dev, def)
-		tMax, _ := w.AnalyticOn(dev, spec.FMaxMHz())
 		low := spec.NearestFreqMHz(def * 6 / 10)
-		_, eLow := w.AnalyticOn(dev, low)
-		return tDef / tMax, 1 - eLow/eDef, nil
+		// One batched curve per kernel instead of three single-frequency
+		// passes; values are bit-identical to per-frequency AnalyticOn.
+		ts, es := w.AnalyticCurveOn(dev, []int{def, spec.FMaxMHz(), low})
+		return ts[0] / ts[1], 1 - es[2]/es[0], nil
 	}
 	full := gpusim.V100Spec()
 	computeOnly := gpusim.V100Spec()
@@ -249,9 +249,8 @@ func (c Config) AblationBatching() (AblationBatchingResult, error) {
 		w.Params.NumRestart = ligen.DefaultParams().NumRestart
 		wb := w
 		wb.BatchOverride = batches[i]
-		_, eDef := wb.AnalyticOn(dev, def)
-		_, eLow := wb.AnalyticOn(dev, low)
-		return 1 - eLow/eDef, nil
+		_, es := wb.AnalyticCurveOn(dev, []int{def, low})
+		return 1 - es[1]/es[0], nil
 	})
 	if err != nil {
 		return AblationBatchingResult{}, err

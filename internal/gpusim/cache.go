@@ -8,54 +8,53 @@ import (
 	"dsenergy/internal/obs"
 )
 
-// analyticKey identifies one noiseless model evaluation: the full kernel
-// signature plus the core frequency. The device is identified by the cache
+// profileEntry is the compiled form of one kernel profile on one device: the
+// frequency-invariant terms plus the dense Breakdown curve over the full
+// clock menu, indexed by menu position. Entries are immutable once
+// published, so readers may hold them across snapshot swaps.
+type profileEntry struct {
+	cp    compiledProfile
+	curve []Breakdown
+}
+
+// analyticCache memoizes compiled profiles of the noiseless analytical
+// model. The measurement stack re-evaluates identical (kernel, frequency)
+// pairs constantly — every repetition of a sweep point, every throttle
+// probe, every figure that re-runs a workload — and the model is a pure
+// function of (spec, profile, frequency), so cached values are bit-identical
+// to recomputed ones and caching is invisible to the determinism contract.
+//
+// The cache is two-level: an atomic snapshot map keyed by the full kernel
+// signature, each entry carrying the dense per-menu-frequency curve. The
+// read path is lock-free — one snapshot load plus one map lookup serves any
+// number of frequencies of a profile — and device forks running on a worker
+// pool share their parent's instance without contending on a lock. Writers
+// copy the map and publish a new snapshot under mu (the RCU pattern of
+// internal/serve's model registry). The device is identified by the cache
 // instance itself — each Device owns (or shares through Fork) exactly one
 // cache, so two devices built from look-alike specs (e.g. the roofline
 // ablation's bandwidth-inflated V100, which keeps the original name) can
 // never read each other's entries.
-type analyticKey struct {
-	profile kernels.Profile
-	mhz     int
-}
-
-// analyticCache memoizes Breakdowns of the noiseless analytical model. The
-// measurement stack re-evaluates identical (kernel, frequency) pairs
-// constantly — every repetition of a sweep point, every throttle probe, every
-// figure that re-runs a workload — and the model is a pure function of
-// (spec, profile, frequency), so memoized values are bit-identical to
-// recomputed ones and caching is invisible to the determinism contract.
-// The cache is safe for concurrent use; device forks running on a worker
-// pool share their parent's instance.
 type analyticCache struct {
-	mu     sync.RWMutex
-	m      map[analyticKey]Breakdown
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	snap atomic.Pointer[map[kernels.Profile]*profileEntry]
+	mu   sync.Mutex // serializes publishers; readers never take it
+
+	hits   atomic.Uint64 // profile lookups served from the snapshot
+	misses atomic.Uint64 // profile lookups that compiled and published
 	// Mirror counters in the observer's unstable tier: whether two parallel
-	// forks both miss on the same key depends on scheduling, so these totals
-	// are reproducible only on serial runs and stay out of the deterministic
-	// export. Set once (before concurrent use) via Device.SetObserver.
+	// forks both miss on the same profile depends on scheduling, so these
+	// totals are reproducible only on serial runs and stay out of the
+	// deterministic export. Set once (before concurrent use) via
+	// Device.SetObserver.
 	obsHits   *obs.Counter
 	obsMisses *obs.Counter
 }
 
 func newAnalyticCache() *analyticCache {
-	return &analyticCache{m: make(map[analyticKey]Breakdown)}
-}
-
-func (c *analyticCache) lookup(p kernels.Profile, mhz int) (Breakdown, bool) {
-	c.mu.RLock()
-	b, ok := c.m[analyticKey{profile: p, mhz: mhz}]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		c.obsHits.Inc()
-	} else {
-		c.misses.Add(1)
-		c.obsMisses.Inc()
-	}
-	return b, ok
+	c := &analyticCache{}
+	empty := make(map[kernels.Profile]*profileEntry)
+	c.snap.Store(&empty)
+	return c
 }
 
 func (c *analyticCache) setObserver(m *obs.Registry, device string) {
@@ -63,29 +62,129 @@ func (c *analyticCache) setObserver(m *obs.Registry, device string) {
 	c.obsMisses = m.UnstableCounter("gpusim_analytic_cache_misses_total", obs.L("device", device))
 }
 
-func (c *analyticCache) store(p kernels.Profile, mhz int, b Breakdown) {
+// entry returns the compiled entry for p, compiling the profile and its
+// dense curve on first touch. Hits and misses count profile lookups (the
+// pre-compiled cache counted (profile, frequency) point lookups): a hit
+// means the entire curve was served without touching a lock.
+func (c *analyticCache) entry(d *Device, p *kernels.Profile) *profileEntry {
+	if e, ok := (*c.snap.Load())[*p]; ok {
+		c.hits.Add(1)
+		c.obsHits.Inc()
+		return e
+	}
+	c.misses.Add(1)
+	c.obsMisses.Inc()
+	return c.compileAndPublish(d, p)
+}
+
+// compileAndPublish compiles p, evaluates its dense menu curve and publishes
+// a snapshot containing it. A publisher that lost the race to another fork
+// adopts the winner's entry, so concurrent sweeps converge on one shared
+// curve per profile.
+func (c *analyticCache) compileAndPublish(d *Device, p *kernels.Profile) *profileEntry {
 	c.mu.Lock()
-	c.m[analyticKey{profile: p, mhz: mhz}] = b
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	cur := *c.snap.Load()
+	if e, ok := cur[*p]; ok {
+		return e
+	}
+	e := &profileEntry{curve: make([]Breakdown, len(d.tables.terms))}
+	d.spec.compileInto(&e.cp, p)
+	for i := range d.tables.terms {
+		d.spec.evalInto(&e.curve[i], &e.cp, &d.tables.terms[i])
+	}
+	next := make(map[kernels.Profile]*profileEntry, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[*p] = e
+	c.snap.Store(&next)
+	return e
+}
+
+// entryFor returns the compiled cache entry for p, short-circuiting the
+// snapshot map lookup when the device re-touches the profile it served last
+// — the dominant pattern in sweeps, which walk one kernel across the whole
+// clock menu. The memo is per-Device, not shared: Device is documented
+// single-goroutine (forks get their own memo), and entries are immutable and
+// never evicted, so a memoized pointer cannot go stale. Memoized lookups
+// still count as cache hits.
+func (d *Device) entryFor(p *kernels.Profile) *profileEntry {
+	if d.lastEntry != nil && *p == d.lastProfile {
+		d.cache.hits.Add(1)
+		d.cache.obsHits.Inc()
+		return d.lastEntry
+	}
+	e := d.cache.entry(d, p)
+	d.lastProfile = *p
+	d.lastEntry = e
+	return e
 }
 
 // AnalyzeAt evaluates the noiseless analytical model for profile p at the
-// given core frequency, serving repeated evaluations from the device's
-// analytic cache (shared with every fork of the device).
-func (d *Device) AnalyzeAt(p kernels.Profile, mhz int) Breakdown {
+// given core frequency. On-menu frequencies are served from the profile's
+// dense compiled curve — a lock-free snapshot read shared with every fork of
+// the device; off-menu frequencies evaluate the frequency terms directly
+// against the cached compiled profile.
+func (d *Device) AnalyzeAt(p kernels.Profile, mhz int) (b Breakdown) {
 	if d.cache == nil {
-		return d.analyze(p, mhz)
-	}
-	if b, ok := d.cache.lookup(p, mhz); ok {
+		d.analyzeInto(&b, &p, mhz)
 		return b
 	}
-	b := d.analyze(p, mhz)
-	d.cache.store(p, mhz, b)
+	e := d.entryFor(&p)
+	if i, ok := d.tables.menuIndex(mhz); ok {
+		return e.curve[i]
+	}
+	ft := d.spec.freqTermsAt(mhz)
+	d.spec.evalInto(&b, &e.cp, &ft)
 	return b
 }
 
-// AnalyticCacheStats reports the device's analytic-cache hit/miss counters
-// (zero for devices without a cache). Forks share their parent's counters.
+// analyzeCurveInto is the cacheless AnalyzeCurve body: one on-the-fly
+// compile amortized over the batch.
+func (d *Device) analyzeCurveInto(out []Breakdown, p *kernels.Profile, freqs []int) {
+	var cp compiledProfile
+	d.spec.compileInto(&cp, p)
+	for i, f := range freqs {
+		d.evalFreqInto(&out[i], &cp, f)
+	}
+}
+
+// AnalyzeCurve evaluates the model for p at every frequency in freqs,
+// amortizing one profile lookup (or compile) over the whole batch. Each
+// returned Breakdown is bit-identical to AnalyzeAt(p, freqs[i]); full-menu
+// callers pay one snapshot load and len(freqs) dense copies.
+func (d *Device) AnalyzeCurve(p kernels.Profile, freqs []int) []Breakdown {
+	out := make([]Breakdown, len(freqs))
+	if d.cache == nil {
+		d.analyzeCurveInto(out, &p, freqs)
+		return out
+	}
+	e := d.entryFor(&p)
+	for i, f := range freqs {
+		if j, ok := d.tables.menuIndex(f); ok {
+			out[i] = e.curve[j]
+		} else {
+			ft := d.spec.freqTermsAt(f)
+			d.spec.evalInto(&out[i], &e.cp, &ft)
+		}
+	}
+	return out
+}
+
+// DisableAnalyticCache detaches the device's analytic cache, forcing every
+// evaluation through the direct path. Results are bit-identical either way —
+// the cache memoizes a pure function — which the cache-on ≡ cache-off CI
+// smoke asserts; the switch exists for that smoke and for benchmarking the
+// raw evaluation cost. Forks made after the call share the detached state.
+func (d *Device) DisableAnalyticCache() {
+	d.cache = nil
+	d.lastEntry = nil
+}
+
+// AnalyticCacheStats reports the device's analytic-cache profile-lookup
+// hit/miss counters (zero for devices without a cache). Forks share their
+// parent's counters.
 func (d *Device) AnalyticCacheStats() (hits, misses uint64) {
 	if d.cache == nil {
 		return 0, 0

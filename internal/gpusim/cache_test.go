@@ -1,0 +1,205 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+
+	"dsenergy/internal/kernels"
+)
+
+func TestValidateRejectsDuplicateFreqs(t *testing.T) {
+	cases := []struct {
+		name  string
+		freqs []int
+		dup   int
+	}{
+		{"adjacent at start", []int{135, 135, 500, 1597}, 135},
+		{"adjacent in middle", []int{135, 500, 500, 1597}, 500},
+		{"adjacent at end", []int{135, 500, 1597, 1597}, 1597},
+	}
+	for _, c := range cases {
+		s := V100Spec()
+		s.CoreFreqsMHz = c.freqs
+		s.DefaultFreqMHz = 135
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: duplicate table %v must be rejected", c.name, c.freqs)
+			continue
+		}
+		var dup *DuplicateFreqError
+		if !errors.As(err, &dup) {
+			t.Errorf("%s: error %v is not a *DuplicateFreqError", c.name, err)
+			continue
+		}
+		if dup.MHz != c.dup || dup.Device != s.Name {
+			t.Errorf("%s: got (%q, %d MHz), want (%q, %d MHz)", c.name, dup.Device, dup.MHz, s.Name, c.dup)
+		}
+	}
+	if err := V100Spec().Validate(); err != nil {
+		t.Fatalf("strictly ascending preset must stay valid: %v", err)
+	}
+}
+
+// offMenuProbes returns frequencies that are not on the spec's clock menu:
+// below the table, between two entries, and above the table.
+func offMenuProbes(tb testing.TB, s Spec) []int {
+	tb.Helper()
+	probes := []int{s.FMinMHz() - 3, s.CoreFreqsMHz[len(s.CoreFreqsMHz)/2] + 1, s.FMaxMHz() + 50}
+	for _, f := range probes {
+		if s.HasFreq(f) {
+			tb.Fatalf("probe %d unexpectedly on the menu", f)
+		}
+	}
+	return probes
+}
+
+func TestAnalyzeAtOffMenuMatchesDirectEvaluation(t *testing.T) {
+	// Off-menu clocks (NearestFreq interpolation call sites probe these)
+	// must take the direct-evaluation fallback and produce exactly what a
+	// cacheless device computes.
+	cached := mustNew(t, V100Spec(), 1)
+	direct := mustNew(t, V100Spec(), 1)
+	direct.DisableAnalyticCache()
+	for _, p := range []kernels.Profile{computeBound(), memoryBound()} {
+		for _, f := range offMenuProbes(t, cached.Spec()) {
+			if got, want := cached.AnalyzeAt(p, f), direct.AnalyzeAt(p, f); got != want {
+				t.Errorf("%s at off-menu %d MHz: cached %+v != direct %+v", p.Name, f, got, want)
+			}
+		}
+	}
+}
+
+func TestDisableAnalyticCacheFallbackMatchesCached(t *testing.T) {
+	cached := mustNew(t, V100Spec(), 1)
+	direct := mustNew(t, V100Spec(), 1)
+	direct.DisableAnalyticCache()
+	p := memoryBound()
+	for _, f := range cached.Spec().CoreFreqsMHz {
+		if got, want := direct.AnalyzeAt(p, f), cached.AnalyzeAt(p, f); got != want {
+			t.Fatalf("at %d MHz: direct %+v != cached %+v", f, got, want)
+		}
+	}
+	if h, m := direct.AnalyticCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("detached cache must report zero stats, got %d/%d", h, m)
+	}
+}
+
+func TestAnalyzeCurveMatchesAnalyzeAt(t *testing.T) {
+	d := mustNew(t, V100Spec(), 1)
+	direct := mustNew(t, V100Spec(), 1)
+	direct.DisableAnalyticCache()
+	// Full menu plus off-menu probes in one batch, on both the cached and
+	// the cacheless implementation.
+	freqs := append(append([]int(nil), d.Spec().CoreFreqsMHz...), offMenuProbes(t, d.Spec())...)
+	for _, p := range []kernels.Profile{computeBound(), memoryBound()} {
+		for name, dev := range map[string]*Device{"cached": d, "direct": direct} {
+			curve := dev.AnalyzeCurve(p, freqs)
+			if len(curve) != len(freqs) {
+				t.Fatalf("%s: curve length %d, want %d", name, len(curve), len(freqs))
+			}
+			for i, f := range freqs {
+				if want := dev.AnalyzeAt(p, f); curve[i] != want {
+					t.Errorf("%s: %s curve[%d] (%d MHz) = %+v, want %+v", name, p.Name, i, f, curve[i], want)
+				}
+			}
+		}
+	}
+	if got := d.AnalyzeCurve(computeBound(), nil); len(got) != 0 {
+		t.Fatalf("empty frequency list must yield an empty curve, got %d entries", len(got))
+	}
+}
+
+func TestForkSharesCompiledCurves(t *testing.T) {
+	d := mustNew(t, V100Spec(), 1)
+	p := computeBound()
+	d.AnalyzeAt(p, 1297) // compile + publish on the parent
+	child := d.Fork()
+	child.AnalyzeAt(p, d.Spec().FMaxMHz())
+	hits, misses := d.AnalyticCacheStats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (one compile shared by parent and fork)", misses)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (fork served from the parent's snapshot)", hits)
+	}
+}
+
+func TestPowerCapThrottleSameWithCacheDisabled(t *testing.T) {
+	// The throttle governor walks the dense compiled curve when the cache is
+	// attached and falls back to pointwise evaluation otherwise; both walks
+	// must pick the same clock and hence the same observation stream.
+	run := func(disable bool) Result {
+		d := mustNew(t, V100Spec(), 7)
+		if disable {
+			d.DisableAnalyticCache()
+		}
+		if err := d.SetPowerCapW(180); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SetCoreFreqMHz(d.Spec().FMaxMHz()); err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Run(computeBound())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if with, without := run(false), run(true); with != without {
+		t.Fatalf("capped run diverged: cached %+v != direct %+v", with, without)
+	}
+}
+
+func TestAnalyzeAtAllocationFree(t *testing.T) {
+	d := mustNew(t, V100Spec(), 1)
+	p := computeBound()
+	d.AnalyzeAt(p, 1297) // warm: compile + publish happen once, outside the guard
+	if allocs := testing.AllocsPerRun(100, func() { d.AnalyzeAt(p, 1297) }); allocs != 0 {
+		t.Errorf("cached AnalyzeAt allocates %.1f/op, want 0", allocs)
+	}
+	off := d.Spec().FMaxMHz() + 50
+	if allocs := testing.AllocsPerRun(100, func() { d.AnalyzeAt(p, off) }); allocs != 0 {
+		t.Errorf("off-menu AnalyzeAt allocates %.1f/op, want 0", allocs)
+	}
+	direct := mustNew(t, V100Spec(), 1)
+	direct.DisableAnalyticCache()
+	if allocs := testing.AllocsPerRun(100, func() { direct.AnalyzeAt(p, 1297) }); allocs != 0 {
+		t.Errorf("uncached AnalyzeAt allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAnalyzeCurveSingleAllocation(t *testing.T) {
+	d := mustNew(t, V100Spec(), 1)
+	p := computeBound()
+	freqs := d.Spec().CoreFreqsMHz
+	d.AnalyzeCurve(p, freqs)
+	if allocs := testing.AllocsPerRun(20, func() { d.AnalyzeCurve(p, freqs) }); allocs != 1 {
+		t.Errorf("cached AnalyzeCurve allocates %.1f/op, want 1 (the result slice)", allocs)
+	}
+}
+
+func BenchmarkAnalyzeCurve(b *testing.B) {
+	// Full V100 clock menu per op; compare against len(menu) AnalyzeAt calls.
+	b.Run("cached", func(b *testing.B) {
+		d := mustNew(b, V100Spec(), 1)
+		p := computeBound()
+		freqs := d.Spec().CoreFreqsMHz
+		d.AnalyzeCurve(p, freqs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = d.AnalyzeCurve(p, freqs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(freqs)), "ns/point")
+	})
+	b.Run("uncached", func(b *testing.B) {
+		d := mustNew(b, V100Spec(), 1)
+		d.DisableAnalyticCache()
+		p := computeBound()
+		freqs := d.Spec().CoreFreqsMHz
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = d.AnalyzeCurve(p, freqs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(freqs)), "ns/point")
+	})
+}

@@ -138,7 +138,25 @@ func (s Spec) Validate() error {
 	case s.Vendor == AMD && s.AutoFreqMHz == 0:
 		return fmt.Errorf("gpusim: %s: AMD device needs AutoFreqMHz", s.Name)
 	}
+	// sort.IntsAreSorted accepts adjacent duplicates, but the menu must be
+	// strictly ascending: the analytic cache keys dense curve slots by menu
+	// position, and a repeated clock would alias two slots to one frequency.
+	for i := 1; i < len(s.CoreFreqsMHz); i++ {
+		if s.CoreFreqsMHz[i] == s.CoreFreqsMHz[i-1] {
+			return &DuplicateFreqError{Device: s.Name, MHz: s.CoreFreqsMHz[i]}
+		}
+	}
 	return nil
+}
+
+// DuplicateFreqError reports a core-frequency table with a repeated entry.
+type DuplicateFreqError struct {
+	Device string // spec name
+	MHz    int    // the duplicated clock
+}
+
+func (e *DuplicateFreqError) Error() string {
+	return fmt.Sprintf("gpusim: %s: duplicate core frequency %d MHz in table", e.Device, e.MHz)
 }
 
 // FMaxMHz returns the highest selectable core frequency.
@@ -217,11 +235,21 @@ type Device struct {
 	// rng is the noise stream behind the noise model, retained so Fork can
 	// split it deterministically.
 	rng *xrand.Rand
-	// cache memoizes noiseless analytic evaluations. It is shared (and safe
-	// to share) across every fork of this device: the analytic model is a
-	// pure function of (spec, profile, frequency), so cached values are
+	// tables caches the frequency-dependent model terms over the clock menu
+	// (built once in New, immutable, shared by forks); cache memoizes
+	// compiled profiles and their dense menu curves. Both are safe to share
+	// across every fork of this device: the analytic model is a pure
+	// function of (spec, profile, frequency), so cached values are
 	// bit-identical to recomputed ones.
-	cache *analyticCache
+	tables *freqTables
+	cache  *analyticCache
+	// lastProfile/lastEntry memoize the most recent cache entry served to
+	// this device (sweeps touch one kernel across the whole menu, so the
+	// memo turns the common lookup into a struct compare). Private per
+	// device — never shared with forks' future lookups racing — and safe to
+	// seed from the parent at Fork: entries are immutable and live forever.
+	lastProfile kernels.Profile
+	lastEntry   *profileEntry
 	// Observability handles (nil when no observer is attached; all no-ops
 	// then). Resolved once in SetObserver and shared by forks — counter
 	// accumulation is order-invariant, so sharing cannot perturb exports.
@@ -240,6 +268,7 @@ func New(spec Spec, seed uint64) (*Device, error) {
 		rng:   xrand.New(seed),
 		cache: newAnalyticCache(),
 	}
+	d.tables = newFreqTables(&d.spec)
 	d.noise = NewNoiseModel(DefaultNoiseSigma, d.rng)
 	d.coreFreqMHz = spec.BaselineFreqMHz()
 	return d, nil
@@ -257,7 +286,10 @@ func (d *Device) Fork() *Device {
 		coreFreqMHz: d.coreFreqMHz,
 		powerCapW:   d.powerCapW,
 		rng:         d.rng.Split(),
+		tables:      d.tables,
 		cache:       d.cache,
+		lastProfile: d.lastProfile,
+		lastEntry:   d.lastEntry,
 		launches:    d.launches,
 		dvfs:        d.dvfs,
 	}
@@ -359,17 +391,29 @@ func (d *Device) throttledFreq(p kernels.Profile, mhz int) int {
 	if d.AnalyzeAt(p, mhz).TotalPowerW <= cap {
 		return mhz
 	}
-	i := sort.SearchInts(d.spec.CoreFreqsMHz, mhz)
-	if i >= len(d.spec.CoreFreqsMHz) {
-		i = len(d.spec.CoreFreqsMHz) - 1
+	freqs := d.spec.CoreFreqsMHz
+	i := sort.SearchInts(freqs, mhz)
+	if i >= len(freqs) {
+		i = len(freqs) - 1
+	}
+	if d.cache != nil {
+		// The downclock walk scans the profile's dense compiled curve in
+		// place: one snapshot read for the whole descent instead of a cache
+		// lookup per candidate clock.
+		e := d.entryFor(&p)
+		for ; i > 0; i-- {
+			if e.curve[i].TotalPowerW <= cap {
+				return freqs[i]
+			}
+		}
+		return freqs[0]
 	}
 	for ; i > 0; i-- {
-		f := d.spec.CoreFreqsMHz[i]
-		if d.AnalyzeAt(p, f).TotalPowerW <= cap {
-			return f
+		if d.AnalyzeAt(p, freqs[i]).TotalPowerW <= cap {
+			return freqs[i]
 		}
 	}
-	return d.spec.CoreFreqsMHz[0]
+	return freqs[0]
 }
 
 // EnergyCounterJ returns the cumulative energy consumed by all kernels run on

@@ -30,7 +30,7 @@ type Breakdown struct {
 }
 
 // voltageAt returns the operating voltage of the V/f curve at freq (MHz).
-func (s Spec) voltageAt(mhz int) float64 {
+func (s *Spec) voltageAt(mhz int) float64 {
 	fmax := float64(s.FMaxMHz())
 	knee := s.VKnee * fmax
 	f := float64(mhz)
@@ -44,7 +44,7 @@ func (s Spec) voltageAt(mhz int) float64 {
 // bwFactorAt returns the fraction of the achieved bandwidth available at the
 // given core frequency: below the bandwidth knee the cores cannot issue
 // enough outstanding requests to keep DRAM busy.
-func (s Spec) bwFactorAt(mhz int) float64 {
+func (s *Spec) bwFactorAt(mhz int) float64 {
 	fr := float64(mhz) / float64(s.FMaxMHz())
 	if fr >= s.BWKnee {
 		return 1
@@ -56,8 +56,10 @@ func (s Spec) bwFactorAt(mhz int) float64 {
 // model: a fraction CacheReuse of the raw accesses hits cache while the
 // working set fits in the LLC; as the working set grows past the LLC the
 // reused fraction progressively spills back to DRAM.
-func (s Spec) dramTraffic(p kernels.Profile) float64 {
-	raw := p.RawGlobalBytes()
+func (s *Spec) dramTraffic(p *kernels.Profile) float64 {
+	// Inline Profile.RawGlobalBytes (same expression): calling the value
+	// receiver through the pointer would copy the whole Profile per call.
+	raw := p.Mix.GlobalBytes() * p.WorkItems
 	miss := 1 - p.CacheReuse
 	if p.WorkingSetBytes > s.LLCBytes && p.WorkingSetBytes > 0 {
 		spill := 1 - s.LLCBytes/p.WorkingSetBytes
@@ -66,15 +68,54 @@ func (s Spec) dramTraffic(p kernels.Profile) float64 {
 	return raw * miss
 }
 
-// analyze is the uncached evaluation of the noiseless analytical model for
-// profile p at the given core frequency. It is pure in (spec, p, mhz), which
-// is what makes the memoization in AnalyzeAt (cache.go) sound.
-func (d *Device) analyze(p kernels.Profile, mhz int) Breakdown {
-	s := &d.spec
+// freqTerms holds the frequency-dependent pure sub-expressions of the
+// analytical model at one core frequency. Every field memoizes exactly the
+// sub-expression the single-pass evaluation computes — the same operations
+// in the same association — so evaluating from a tabulated freqTerms is
+// bit-identical to evaluating inline. New tabulates one entry per clock-menu
+// position (tables.go); off-menu frequencies compute the terms on the fly.
+type freqTerms struct {
+	fGHz      float64 // mhz / 1000
+	voltageV  float64 // voltageAt(mhz)
+	bwFactor  float64 // bwFactorAt(mhz)
+	overheadS float64 // LaunchFixedS + LaunchCycles/(f[GHz]·1e9)
+	dynPreW   float64 // DynCoeffW · NumCU · V² · f[GHz], awaiting · activity
+	clockW    float64 // ClockCoeffW · V² · f[GHz]
+	leakW     float64 // LeakCoeffW · V²
+}
+
+// freqTermsAt evaluates the frequency-dependent terms directly. This is the
+// slow path — two math.Pow calls sit behind voltageAt/bwFactorAt — which is
+// precisely why the clock menu is tabulated once per device.
+func (s *Spec) freqTermsAt(mhz int) freqTerms {
 	fGHz := float64(mhz) / 1000
 	v := s.voltageAt(mhz)
+	return freqTerms{
+		fGHz:      fGHz,
+		voltageV:  v,
+		bwFactor:  s.bwFactorAt(mhz),
+		overheadS: s.LaunchFixedS + s.LaunchCycles/(fGHz*1e9),
+		dynPreW:   s.DynCoeffW * float64(s.NumCU) * v * v * fGHz,
+		clockW:    s.ClockCoeffW * v * v * fGHz,
+		leakW:     s.LeakCoeffW * v * v,
+	}
+}
 
-	// --- Occupancy ---------------------------------------------------------
+// compiledProfile holds the frequency-invariant terms of one kernel profile
+// on one device: occupancy, lane allocation, total compute work, effective
+// DRAM traffic and the bandwidth-utilization prefactor are all pure in
+// (spec, profile), so one compile serves the entire clock menu.
+type compiledProfile struct {
+	util     float64 // resident-item occupancy, clamped to 1
+	aPart    float64 // min(WorkItems, lanes) · ComputeEff, awaiting · f[GHz]·1e9
+	cycles   float64 // TotalComputeCycles per launch
+	bytes    float64 // effective DRAM bytes per launch after the cache model
+	bwPre    float64 // PeakBW·1e9 · MemEff · bwUtil, awaiting · bwFactor
+	launches float64
+}
+
+// compileInto evaluates the frequency-invariant stage of the model into cp.
+func (s *Spec) compileInto(cp *compiledProfile, p *kernels.Profile) {
 	// util is the fraction of the device's resident-item capacity occupied
 	// by one launch; it throttles both achievable issue rate (indirectly,
 	// through parallelism) and dynamic power.
@@ -82,17 +123,11 @@ func (d *Device) analyze(p kernels.Profile, mhz int) Breakdown {
 	if util > 1 {
 		util = 1
 	}
-
-	// --- Compute roof -------------------------------------------------------
 	// Effective parallel lanes: a launch cannot use more lanes than it has
-	// work items.
+	// work items. The builtin min matches math.Min bit-for-bit (NaN
+	// propagation, -0 below +0) and compiles to a bare vminsd.
 	lanes := float64(s.NumCU * s.LanesPerCU)
-	activeLanes := math.Min(p.WorkItems, lanes)
-	issueRate := activeLanes * s.ComputeEff * fGHz * 1e9 // lane-cycles/s
-	tComp := p.TotalComputeCycles() / issueRate
-
-	// --- Memory roof --------------------------------------------------------
-	bytes := s.dramTraffic(p)
+	activeLanes := min(p.WorkItems, lanes)
 	bwUtil := p.WorkItems / s.BWSaturateItems
 	if bwUtil > 1 {
 		bwUtil = 1
@@ -104,56 +139,103 @@ func (d *Device) analyze(p kernels.Profile, mhz int) Breakdown {
 	if bwUtil < minUtil {
 		bwUtil = minUtil
 	}
-	bw := s.PeakBWGBs * 1e9 * s.MemEff * bwUtil * s.bwFactorAt(mhz)
+	cp.util = util
+	cp.aPart = activeLanes * s.ComputeEff
+	// Inline Profile.TotalComputeCycles (same expression, same receiver-copy
+	// rationale as in dramTraffic).
+	cp.cycles = p.Mix.ComputeCycles() * p.WorkItems
+	cp.bytes = s.dramTraffic(p)
+	cp.bwPre = s.PeakBWGBs * 1e9 * s.MemEff * bwUtil
+	cp.launches = p.Launches
+}
+
+// evalInto is the per-frequency tail of the model: roughly twenty floating
+// point operations combining one compiled profile with one set of frequency
+// terms, written into out (the out-parameter keeps Breakdown copies off the
+// hot path). The operation order reproduces the original single-pass
+// evaluation exactly — the staged factors above are left-associated prefixes
+// of the original expressions — so every Breakdown field is bit-identical to
+// the unstaged computation (TestGoldenAnalytic pins this).
+func (s *Spec) evalInto(out *Breakdown, cp *compiledProfile, ft *freqTerms) {
+	// --- Compute roof -------------------------------------------------------
+	issueRate := cp.aPart * ft.fGHz * 1e9 // lane-cycles/s
+	tComp := cp.cycles / issueRate
+
+	// --- Memory roof --------------------------------------------------------
+	bw := cp.bwPre * ft.bwFactor
 	var tMem float64
-	if bytes > 0 {
-		tMem = bytes / bw
+	if cp.bytes > 0 {
+		tMem = cp.bytes / bw
 	}
 
 	// --- Launch composition --------------------------------------------------
-	overhead := s.LaunchFixedS + s.LaunchCycles/(fGHz*1e9)
-	tLaunch := math.Max(tComp, tMem) + overhead
-	total := tLaunch * p.Launches
+	tLaunch := max(tComp, tMem) + ft.overheadS
+	total := tLaunch * cp.launches
 
 	// --- Power ---------------------------------------------------------------
 	// The ALUs are busy only for the compute fraction of each launch.
 	duty := 1.0
 	if tMem > tComp && tLaunch > 0 {
-		duty = (tComp + overhead*0.1) / tLaunch
+		duty = (tComp + ft.overheadS*0.1) / tLaunch
 	}
-	act := util * duty
-	dynW := s.DynCoeffW * float64(s.NumCU) * v * v * fGHz * act
+	act := cp.util * duty
+	dynW := ft.dynPreW * act
 	// Clock-tree and uncore switching power is paid chip-wide whenever a
 	// kernel is resident, regardless of occupancy; on real boards this is
 	// what separates busy-idle from deep-idle power.
-	dynW += s.ClockCoeffW * v * v * fGHz
-	leakW := s.LeakCoeffW * v * v
+	dynW += ft.clockW
 	achievedGBs := 0.0
 	if tLaunch > 0 {
-		achievedGBs = bytes / tLaunch / 1e9
+		achievedGBs = cp.bytes / tLaunch / 1e9
 	}
 	memW := s.MemCoeffWGBs * achievedGBs
-	powerW := s.IdleW + leakW + dynW + memW
+	powerW := s.IdleW + ft.leakW + dynW + memW
 
-	return Breakdown{
-		FreqGHz:      fGHz,
-		VoltageV:     v,
-		Utilization:  util,
-		ComputeTimeS: tComp,
-		MemTimeS:     tMem,
-		OverheadS:    overhead,
-		MemBound:     tMem > tComp,
-		DRAMBytes:    bytes,
-		AchievedGBs:  achievedGBs,
-		ActivityComp: act,
-		IdleW:        s.IdleW,
-		LeakW:        leakW,
-		DynW:         dynW,
-		MemW:         memW,
-		TotalPowerW:  powerW,
-		TimeS:        total,
-		EnergyJ:      powerW * total,
+	// Field stores, not a composite literal: out never aliases cp/ft, and
+	// direct stores keep the 136-byte struct from bouncing through a
+	// zeroed temporary.
+	out.FreqGHz = ft.fGHz
+	out.VoltageV = ft.voltageV
+	out.Utilization = cp.util
+	out.ComputeTimeS = tComp
+	out.MemTimeS = tMem
+	out.OverheadS = ft.overheadS
+	out.MemBound = tMem > tComp
+	out.DRAMBytes = cp.bytes
+	out.AchievedGBs = achievedGBs
+	out.ActivityComp = act
+	out.IdleW = s.IdleW
+	out.LeakW = ft.leakW
+	out.DynW = dynW
+	out.MemW = memW
+	out.TotalPowerW = powerW
+	out.TimeS = total
+	out.EnergyJ = powerW * total
+}
+
+// analyzeInto is the uncached evaluation of the noiseless analytical model
+// for profile p at the given core frequency: compile the profile on the fly,
+// fetch (or compute) the frequency terms, evaluate. It is pure in
+// (spec, p, mhz), which is what makes the memoization in AnalyzeAt
+// (cache.go) sound.
+func (d *Device) analyzeInto(out *Breakdown, p *kernels.Profile, mhz int) {
+	var cp compiledProfile
+	d.spec.compileInto(&cp, p)
+	d.evalFreqInto(out, &cp, mhz)
+}
+
+// evalFreqInto evaluates one compiled profile at mhz: against the tabulated
+// frequency terms in place when mhz is on the clock menu, against directly
+// computed terms otherwise.
+func (d *Device) evalFreqInto(out *Breakdown, cp *compiledProfile, mhz int) {
+	if d.tables != nil {
+		if i, ok := d.tables.menuIndex(mhz); ok {
+			d.spec.evalInto(out, cp, &d.tables.terms[i])
+			return
+		}
 	}
+	ft := d.spec.freqTermsAt(mhz)
+	d.spec.evalInto(out, cp, &ft)
 }
 
 // Analytic returns the noiseless (time, energy) prediction of the model for

@@ -363,11 +363,48 @@ func TestAnalyticAlwaysPositive(t *testing.T) {
 }
 
 func BenchmarkAnalyzeAt(b *testing.B) {
-	d := mustNew(b, V100Spec(), 1)
-	p := computeBound()
-	for i := 0; i < b.N; i++ {
-		_ = d.AnalyzeAt(p, 1297)
-	}
+	// cached: steady-state hit on the device's analytic cache (the shape of
+	// every repeated sweep/probe/decision evaluation).
+	b.Run("cached", func(b *testing.B) {
+		d := mustNew(b, V100Spec(), 1)
+		p := computeBound()
+		d.AnalyzeAt(p, 1297)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = d.AnalyzeAt(p, 1297)
+		}
+	})
+	// uncached: the pure evaluation cost with the cache disabled — the cost
+	// every first touch of a (profile, frequency) pays.
+	b.Run("uncached", func(b *testing.B) {
+		d := mustNew(b, V100Spec(), 1)
+		d.cache = nil
+		p := computeBound()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = d.AnalyzeAt(p, 1297)
+		}
+	})
+	// contention: GOMAXPROCS goroutines hammering one shared cache across the
+	// clock menu, the parallel-sweep access pattern (forked devices share the
+	// parent's cache).
+	b.Run("contention", func(b *testing.B) {
+		d := mustNew(b, V100Spec(), 1)
+		p := computeBound()
+		freqs := d.Spec().CoreFreqsMHz
+		for _, f := range freqs {
+			d.AnalyzeAt(p, f)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			c := d.Fork()
+			i := 0
+			for pb.Next() {
+				_ = c.AnalyzeAt(p, freqs[i%len(freqs)])
+				i++
+			}
+		})
+	})
 }
 
 func TestPowerCapThrottles(t *testing.T) {
